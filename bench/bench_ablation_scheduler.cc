@@ -1,0 +1,77 @@
+// Ablation — grouped-GEMM scheduler prefetch width (paper Sec. III-E2,
+// Fig. 7: claiming 32 tiles per scheduler visit gave ~10% on grouped GEMM).
+//
+// The scheduler-visit overhead is proportionally largest when tiles are
+// small and numerous, so the ablation sweeps both a many-small-problems
+// grouped GEMM (where the effect shows) and the MHA-shaped workload.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "attention/attention.h"
+#include "bench_common.h"
+#include "gemm/grouped.h"
+
+namespace bt::bench {
+namespace {
+
+// Many small problems: 256 GEMMs of 64x64x64 -> 256 tiles, each cheap.
+void BM_AblationScheduler_SmallProblems(benchmark::State& state) {
+  const std::int64_t prefetch = state.range(0);
+  constexpr int kProblems = 256;
+  constexpr int kDim = 64;
+  Rng rng(kSeed);
+  std::vector<Tensor<fp16_t>> as;
+  std::vector<Tensor<fp16_t>> bs;
+  std::vector<Tensor<fp16_t>> cs;
+  std::vector<gemm::GroupedProblem<fp16_t, fp16_t, fp16_t>> problems;
+  for (int i = 0; i < kProblems; ++i) {
+    as.push_back(Tensor<fp16_t>::random_normal({kDim, kDim}, rng));
+    bs.push_back(Tensor<fp16_t>::random_normal({kDim, kDim}, rng));
+    cs.push_back(Tensor<fp16_t>::zeros({kDim, kDim}));
+  }
+  for (int i = 0; i < kProblems; ++i) {
+    problems.push_back({kDim, kDim, kDim, as[static_cast<std::size_t>(i)].data(),
+                        kDim, bs[static_cast<std::size_t>(i)].data(), kDim,
+                        cs[static_cast<std::size_t>(i)].data(), kDim});
+  }
+  for (auto _ : state) {
+    gemm::grouped_gemm<fp16_t, fp16_t, fp16_t>(
+        dev(), gemm::Trans::N, gemm::Trans::N,
+        std::span<const gemm::GroupedProblem<fp16_t, fp16_t, fp16_t>>(problems),
+        1.0f, 0.0f, {}, {}, prefetch);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+}
+
+BENCHMARK(BM_AblationScheduler_SmallProblems)
+    ->Arg(1)->Arg(4)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+// MHA-shaped workload through the long fused kernel at both widths.
+void BM_AblationScheduler_FusedLongMha(benchmark::State& state) {
+  const std::int64_t prefetch = state.range(0);
+  constexpr int kHeads = 4;
+  constexpr int kHd = 64;
+  constexpr int kHidden = kHeads * kHd;
+  auto batch = VarLenBatch::make(4, 512, 3 * kHidden);
+  Rng rng(kSeed + 1);
+  auto qkv =
+      Tensor<fp16_t>::random_normal({batch.off.valid_count, 3 * kHidden}, rng);
+  auto bias = Tensor<fp16_t>::random_normal({3 * kHidden}, rng, 0.1f);
+  auto ctx = Tensor<fp16_t>::zeros({batch.off.valid_count, kHidden});
+  core::Workspace ws;
+  attn::PackedMhaArgs args{qkv.data(), bias.data(), ctx.data(), &batch.off,
+                           kHeads, kHd};
+  for (auto _ : state) {
+    attn::mha_fused_long(dev(), args, ws, prefetch);
+    benchmark::DoNotOptimize(ctx.data());
+  }
+}
+
+BENCHMARK(BM_AblationScheduler_FusedLongMha)
+    ->Arg(1)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+}  // namespace
+}  // namespace bt::bench

@@ -1,0 +1,83 @@
+// Model zoo: the four BERT-like architectures of the paper (Table IV),
+// each run under the padded baseline and the full ByteTransformer stack on
+// the same variable-length batch. Mirrors the Fig. 16 experiment at example
+// scale.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/model.h"
+#include "parallel/device.h"
+#include "serving/request_gen.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace bt;
+
+struct Entry {
+  const char* name;
+  core::BertConfig cfg;
+  bool has_fused_mha;  // DeBERTa's disentangled score has no fused-MHA path
+};
+
+}  // namespace
+
+int main() {
+  par::Device& dev = par::default_device();
+
+  core::BertConfig deberta = core::BertConfig::deberta_base().scaled(2, 2);
+  deberta.relative_span = 32;
+  const Entry zoo[] = {
+      {"BERT", core::BertConfig::bert_base().scaled(2, 2), true},
+      {"ALBERT", core::BertConfig::albert_base().scaled(2, 4), true},
+      {"DistilBERT", core::BertConfig::distilbert_base().scaled(2, 2), true},
+      {"DeBERTa", deberta, false},
+  };
+
+  const int batch = 4;
+  const int max_seq = 192;
+  std::printf("batch %d, max_seq %d, alpha 0.6\n\n", batch, max_seq);
+  std::printf("%-12s %8s %8s %9s %10s %12s\n", "model", "layers", "heads",
+              "base(ms)", "byte(ms)", "speedup");
+
+  for (const Entry& e : zoo) {
+    Rng rng(42);
+    const core::BertModel model = core::BertModel::random(e.cfg, rng);
+    const auto lens = serving::gen_lengths(batch, max_seq, 0.6, rng);
+    const auto off = core::build_seq_offsets(dev, lens, max_seq);
+    auto input = Tensor<fp16_t>::zeros({batch * max_seq, e.cfg.hidden()});
+    for (std::int64_t v = 0; v < off.valid_count; ++v) {
+      const std::int64_t r = off.packed_to_padded[static_cast<std::size_t>(v)];
+      for (int j = 0; j < e.cfg.hidden(); ++j) input(r, j) = fp16_t(0.02f * (j % 7));
+    }
+    auto out = Tensor<fp16_t>::zeros({batch * max_seq, e.cfg.hidden()});
+    core::Workspace ws;
+
+    core::OptFlags byte_flags = e.has_fused_mha
+                                    ? core::OptFlags::byte_transformer()
+                                    : core::OptFlags::zero_padding_enabled();
+
+    // Warm up workspaces, then time a few iterations of each mode.
+    model.forward(dev, input.data(), out.data(), off,
+                  core::OptFlags::baseline(), ws);
+    constexpr int kIters = 3;
+    Timer t;
+    for (int i = 0; i < kIters; ++i) {
+      model.forward(dev, input.data(), out.data(), off,
+                    core::OptFlags::baseline(), ws);
+    }
+    const double base_ms = t.millis() / kIters;
+    model.forward(dev, input.data(), out.data(), off, byte_flags, ws);
+    t.reset();
+    for (int i = 0; i < kIters; ++i) {
+      model.forward(dev, input.data(), out.data(), off, byte_flags, ws);
+    }
+    const double bt_ms = t.millis() / kIters;
+
+    std::printf("%-12s %8d %8d %9.2f %10.2f %11.2fx\n", e.name,
+                e.cfg.layers, e.cfg.heads, base_ms, bt_ms, base_ms / bt_ms);
+  }
+  return 0;
+}

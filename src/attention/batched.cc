@@ -1,0 +1,63 @@
+// cuBLAS-style batched MHA and its zero-padding-softmax refinement — the
+// middle rungs of the Fig. 11/12 ladder.
+//
+// Both run two strided batched GEMMs over the *padded* per-head tensors
+// (batched GEMM demands uniform shapes, so the quadratic work on padding is
+// unavoidable here; Table II row "MHA"). The scale is fused into the first
+// GEMM's alpha. They differ only in the softmax between the GEMMs:
+//   * mha_batched          — framework softmax over every padded row,
+//   * mha_batched_zeropad  — softmax visits only valid rows/columns using
+//     the prefix-sum offset information ("cuBLAS + zero padding").
+#include "attention/attention.h"
+#include "common/numeric.h"
+#include "gemm/batched.h"
+#include "kernels/softmax.h"
+
+namespace bt::attn {
+
+namespace {
+
+enum class SoftmaxKind { kFull, kZeroPad };
+
+void batched_mha_impl(par::Device& dev, const PaddedMhaArgs& args,
+                      core::Workspace& ws, SoftmaxKind kind) {
+  const int b = args.batch;
+  const int h = args.heads;
+  const int s = args.max_seq;
+  const int d = args.head_size;
+  const std::int64_t unit = static_cast<std::int64_t>(s) * d;
+  auto scores =
+      ws.get<fp16_t>("mha.batched.scores", static_cast<std::int64_t>(b) * h * s * s);
+
+  // GEMM 1: S = (Q K^T) * 1/sqrt(d), scale fused via alpha.
+  gemm::batched_gemm<fp16_t, fp16_t, fp16_t>(
+      dev, gemm::Trans::N, gemm::Trans::T, b * h, s, s, d, softmax_scale(d),
+      args.q, d, unit, args.k, d, unit, 0.0f, scores.data(), s,
+      static_cast<std::int64_t>(s) * s);
+
+  if (kind == SoftmaxKind::kFull) {
+    kernels::softmax_full(dev, scores.data(), b, h, s, args.seq_lens);
+  } else {
+    kernels::softmax_zeropad(dev, scores.data(), b, h, s, args.seq_lens);
+  }
+
+  // GEMM 2: ctx = P V.
+  gemm::batched_gemm<fp16_t, fp16_t, fp16_t>(
+      dev, gemm::Trans::N, gemm::Trans::N, b * h, s, d, s, 1.0f,
+      scores.data(), s, static_cast<std::int64_t>(s) * s, args.v, d, unit,
+      0.0f, args.ctx, d, unit);
+}
+
+}  // namespace
+
+void mha_batched(par::Device& dev, const PaddedMhaArgs& args,
+                 core::Workspace& ws) {
+  batched_mha_impl(dev, args, ws, SoftmaxKind::kFull);
+}
+
+void mha_batched_zeropad(par::Device& dev, const PaddedMhaArgs& args,
+                         core::Workspace& ws) {
+  batched_mha_impl(dev, args, ws, SoftmaxKind::kZeroPad);
+}
+
+}  // namespace bt::attn

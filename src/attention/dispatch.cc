@@ -1,0 +1,26 @@
+// Regime dispatcher: the short kernel keeps the whole attention unit in CTA
+// scratch and wins while it fits; past the 384-token capacity boundary the
+// grouped-GEMM kernel takes over (paper Sec. III-E: "we set 384 to be the
+// cut-off sequence length").
+#include "attention/attention.h"
+
+namespace bt::attn {
+
+void mha_fused(par::Device& dev, const PackedMhaArgs& args,
+               core::Workspace& ws) {
+  const bool fits = fused_short_scratch_bytes(args.offsets->max_seq,
+                                              args.head_size) <=
+                    dev.scratch_bytes();
+  if (args.offsets->max_seq <= kShortSeqCutoff && fits) {
+    mha_fused_short(dev, args, ws);
+  } else if (args.causal) {
+    // The grouped-GEMM kernel's two-pass softmax has no per-tile causal
+    // masking yet (decoder support is the paper's future work); the flash
+    // kernel handles any length with causal masking.
+    mha_flash_like(dev, args, ws);
+  } else {
+    mha_fused_long(dev, args, ws);
+  }
+}
+
+}  // namespace bt::attn

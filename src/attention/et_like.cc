@@ -1,0 +1,54 @@
+// E.T.-style comparator for Table III.
+//
+// E.T. (Chen et al., SC'21) ships a single-layer, single-batch prototype
+// tuned for *pruned* models on Volta — no tensor cores for this workload, no
+// kernel fusion on the dense path. Benchmarked on dense weights (as the
+// paper does, for fairness against unpruned ByteTransformer) its MHA is an
+// FP32, per-head, fully unfused pipeline; that strategy is what this proxy
+// implements.
+#include <vector>
+
+#include "attention/attention.h"
+#include "common/numeric.h"
+#include "gemm/gemm.h"
+#include "kernels/softmax.h"
+
+namespace bt::attn {
+
+void mha_et_like(par::Device& dev, const PaddedMhaArgsF32& args,
+                 core::Workspace& ws) {
+  const int b = args.batch;
+  const int h = args.heads;
+  const int s = args.max_seq;
+  const int d = args.head_size;
+  const std::int64_t unit = static_cast<std::int64_t>(s) * d;
+  auto scores = ws.get<float>("mha.et.scores", static_cast<std::int64_t>(s) * s);
+
+  // One GEMM launch per (batch, head): the per-head kernel-launch pattern of
+  // a non-batched implementation.
+  for (int bi = 0; bi < b; ++bi) {
+    const int len_span[1] = {args.seq_lens[static_cast<std::size_t>(bi)]};
+    for (int hi = 0; hi < h; ++hi) {
+      const std::int64_t base = (static_cast<std::int64_t>(bi) * h + hi) * unit;
+      // FP32 GEMM, no scale fusion.
+      gemm::gemm_f32(dev, gemm::Trans::N, gemm::Trans::T, s, s, d, 1.0f,
+                     args.q + base, d, args.k + base, d, 0.0f, scores.data(),
+                     s);
+      // Separate scale pass.
+      const float scale = softmax_scale(d);
+      dev.parallel_for(0, s, 8, [&](std::int64_t r) {
+        float* row = scores.data() + r * s;
+        for (int j = 0; j < s; ++j) row[j] *= scale;
+      });
+      // Separate masked softmax over the full padded tile.
+      kernels::softmax_full(dev, scores.data(), 1, 1, s,
+                            std::span<const int>(len_span, 1));
+      // Second FP32 GEMM.
+      gemm::gemm_f32(dev, gemm::Trans::N, gemm::Trans::N, s, d, s, 1.0f,
+                     scores.data(), s, args.v + base, d, 0.0f,
+                     args.ctx + base, d);
+    }
+  }
+}
+
+}  // namespace bt::attn

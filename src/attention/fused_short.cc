@@ -1,0 +1,158 @@
+// Unpadded fused MHA for short sequences — paper Algorithm III.1.
+//
+// One CTA handles a kSplitSeqLen-row query tile of one (batch, head) unit.
+// The whole chain — load Q/K with bias fused, Q K^T, softmax, P V — runs out
+// of the CTA scratch arena ("shared memory"): the quadratic logits tile
+// never touches global memory. Q/K/V are read *packed* through the offset
+// vector, so no padded token is ever loaded or computed.
+//
+// Capacity note (why the 384 cutoff is real here too): the K/V panel is kept
+// in FP16 (the paper's __half s_kv) and the logits tile in FP32; at
+// max_seq = 384, head_size = 64 the arena holds ~144 KiB of the 164 KiB
+// budget — at 448 it no longer fits and the grouped-GEMM kernel takes over.
+#include <cassert>
+#include <cmath>
+
+#include "attention/attention.h"
+#include "common/numeric.h"
+
+namespace bt::attn {
+
+std::size_t fused_short_scratch_bytes(int max_seq, int head_size) {
+  const std::size_t len = static_cast<std::size_t>(max_seq);
+  const std::size_t hd = static_cast<std::size_t>(head_size);
+  const std::size_t split = static_cast<std::size_t>(kSplitSeqLen);
+  // s_kv (FP16) + q tile + logits tile + ctx accumulator + row buffer, plus
+  // headroom for the arena's 16-byte allocation alignment.
+  return len * hd * sizeof(fp16_t) + split * hd * sizeof(float) +
+         split * len * sizeof(float) + split * hd * sizeof(float) +
+         hd * sizeof(float) + 5 * 16;
+}
+
+void mha_fused_short(par::Device& dev, const PackedMhaArgs& args,
+                     core::Workspace& ws) {
+  // Capacity-driven fallback: if the tile set cannot be held on-chip at this
+  // shape, the grouped-GEMM kernel is the correct implementation — the same
+  // decision the CUDA dispatcher makes at compile time via shared-memory
+  // limits.
+  if (fused_short_scratch_bytes(args.offsets->max_seq, args.head_size) >
+      dev.scratch_bytes()) {
+    mha_fused_long(dev, args, ws);
+    return;
+  }
+  const core::SeqOffsets& off = *args.offsets;
+  const int heads = args.heads;
+  const int d = args.head_size;
+  const std::int64_t hidden = static_cast<std::int64_t>(heads) * d;
+  const float scale = softmax_scale(d);
+
+  par::Dim3 grid;
+  grid.x = heads;
+  grid.y = static_cast<int>(ceil_div(off.max_seq, kSplitSeqLen));
+  grid.z = off.batch;
+  dev.launch(grid, [&](par::CtaContext& ctx) {
+    const int h = ctx.block_x;
+    const int tile = ctx.block_y;
+    const int b = ctx.block_z;
+    const int len = off.seq_lens[static_cast<std::size_t>(b)];
+    const int q_begin = tile * kSplitSeqLen;
+    if (q_begin >= len) return;  // tile entirely past this sequence's end
+    const int rows = std::min(kSplitSeqLen, len - q_begin);
+    const std::int64_t seq_base = off.batch_offset[static_cast<std::size_t>(b)];
+
+    auto s_kv = ctx.scratch->alloc<fp16_t>(static_cast<std::size_t>(len) * d);
+    auto q_tile = ctx.scratch->alloc<float>(static_cast<std::size_t>(rows) * d);
+    auto logits = ctx.scratch->alloc<float>(static_cast<std::size_t>(rows) * len);
+    auto ctx_acc = ctx.scratch->alloc<float>(static_cast<std::size_t>(rows) * d);
+    auto row_buf = ctx.scratch->alloc<float>(static_cast<std::size_t>(d));
+    assert(!s_kv.empty() && !q_tile.empty() && !logits.empty() &&
+           !ctx_acc.empty() && !row_buf.empty() &&
+           "short-seq fused MHA exceeds CTA scratch; use the long path");
+
+    // Fill q_tile with bias fused (warps collaboratively fill s_query).
+    const fp16_t* q_bias = args.qkv_bias + 0 * hidden + h * d;
+    for (int i = 0; i < rows; ++i) {
+      const fp16_t* src = args.qkv + (seq_base + q_begin + i) * 3 * hidden +
+                          0 * hidden + h * d;
+      float* dst = q_tile.data() + static_cast<std::int64_t>(i) * d;
+      convert_row_f32(src, dst, d);
+      for (int j = 0; j < d; ++j) dst[j] += load_f32(q_bias[j]);
+    }
+
+    // Fill s_kv with K + bias (kept FP16, as in the paper's shared buffers).
+    const fp16_t* k_bias = args.qkv_bias + 1 * hidden + h * d;
+    for (int j = 0; j < len; ++j) {
+      const fp16_t* src =
+          args.qkv + (seq_base + j) * 3 * hidden + 1 * hidden + h * d;
+      fp16_t* dst = s_kv.data() + static_cast<std::int64_t>(j) * d;
+      for (int e = 0; e < d; ++e) {
+        store_f32(dst[e], load_f32(src[e]) + load_f32(k_bias[e]));
+      }
+    }
+
+    // logits = scale * Q K^T, K rows widened once apiece. Under causal
+    // masking, query q_begin+i only needs keys j <= q_begin+i.
+    for (int j = 0; j < len; ++j) {
+      convert_row_f32(s_kv.data() + static_cast<std::int64_t>(j) * d,
+                      row_buf.data(), d);
+      const int i_first = args.causal ? std::max(0, j - q_begin) : 0;
+      for (int i = i_first; i < rows; ++i) {
+        logits[static_cast<std::size_t>(i) * len + j] =
+            scale * dot_f32(q_tile.data() + static_cast<std::int64_t>(i) * d,
+                            row_buf.data(), d);
+      }
+    }
+
+    // Softmax per query row: both reductions and the transform on data held
+    // locally (the register-file re-use of Algorithm III.1 lines 27-37).
+    for (int i = 0; i < rows; ++i) {
+      const int row_len =
+          args.causal ? std::min(len, q_begin + i + 1) : len;
+      float* lrow = logits.data() + static_cast<std::int64_t>(i) * len;
+      float mx = lrow[0];
+      for (int j = 1; j < row_len; ++j) mx = std::max(mx, lrow[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < row_len; ++j) {
+        lrow[j] = std::exp(lrow[j] - mx);
+        sum += lrow[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < row_len; ++j) lrow[j] *= inv;
+    }
+
+    // Re-fill s_kv with V + bias (buffer re-use, Algorithm III.1 line 38).
+    const fp16_t* v_bias = args.qkv_bias + 2 * hidden + h * d;
+    for (int j = 0; j < len; ++j) {
+      const fp16_t* src =
+          args.qkv + (seq_base + j) * 3 * hidden + 2 * hidden + h * d;
+      fp16_t* dst = s_kv.data() + static_cast<std::int64_t>(j) * d;
+      for (int e = 0; e < d; ++e) {
+        store_f32(dst[e], load_f32(src[e]) + load_f32(v_bias[e]));
+      }
+    }
+
+    // ctx = P V, accumulated in FP32.
+    for (std::size_t i = 0; i < static_cast<std::size_t>(rows) * d; ++i) {
+      ctx_acc[i] = 0.0f;
+    }
+    for (int j = 0; j < len; ++j) {
+      convert_row_f32(s_kv.data() + static_cast<std::int64_t>(j) * d,
+                      row_buf.data(), d);
+      const int i_first = args.causal ? std::max(0, j - q_begin) : 0;
+      for (int i = i_first; i < rows; ++i) {
+        const float p = logits[static_cast<std::size_t>(i) * len + j];
+        float* acc = ctx_acc.data() + static_cast<std::int64_t>(i) * d;
+        for (int e = 0; e < d; ++e) acc[e] += p * row_buf[e];
+      }
+    }
+
+    // Stream the tile to the packed output rows.
+    for (int i = 0; i < rows; ++i) {
+      fp16_t* dst = args.ctx + (seq_base + q_begin + i) * hidden + h * d;
+      convert_row_from_f32(ctx_acc.data() + static_cast<std::int64_t>(i) * d,
+                           dst, d);
+    }
+  });
+}
+
+}  // namespace bt::attn

@@ -1,0 +1,72 @@
+// PyTorch-style MHA proxy: the strategy the paper benchmarks as "PyTorch
+// MHA" — padding-oblivious, every step a separate kernel with a full round
+// trip through memory, including an explicit K-transpose materialization and
+// a defensive contiguous copy of the attention output (the reshape/copy
+// traffic nn.MultiheadAttention generates around its bmm calls).
+#include <cmath>
+
+#include "attention/attention.h"
+#include "common/numeric.h"
+#include "gemm/batched.h"
+#include "kernels/softmax.h"
+
+namespace bt::attn {
+
+void mha_pytorch_like(par::Device& dev, const PaddedMhaArgs& args,
+                      core::Workspace& ws) {
+  const int b = args.batch;
+  const int h = args.heads;
+  const int s = args.max_seq;
+  const int d = args.head_size;
+  const std::int64_t unit = static_cast<std::int64_t>(s) * d;
+  const std::int64_t score_sz = static_cast<std::int64_t>(b) * h * s * s;
+
+  auto kt = ws.get<fp16_t>("mha.pt.kt", static_cast<std::int64_t>(b) * h * unit);
+  auto scores = ws.get<fp16_t>("mha.pt.scores", score_sz);
+  auto ctx_tmp = ws.get<fp16_t>("mha.pt.ctx", static_cast<std::int64_t>(b) * h * unit);
+
+  // Kernel 1: materialize K^T (an explicit transpose pass).
+  dev.parallel_for(0, static_cast<std::int64_t>(b) * h, 1, [&](std::int64_t bh) {
+    const fp16_t* src = args.k + bh * unit;
+    fp16_t* dst = kt.data() + bh * unit;
+    for (int i = 0; i < s; ++i) {
+      for (int j = 0; j < d; ++j) {
+        dst[static_cast<std::int64_t>(j) * s + i] =
+            src[static_cast<std::int64_t>(i) * d + j];
+      }
+    }
+  });
+
+  // Kernel 2: batched GEMM Q @ K^T (no scale fused; separate scale pass).
+  gemm::batched_gemm<fp16_t, fp16_t, fp16_t>(
+      dev, gemm::Trans::N, gemm::Trans::N, b * h, s, s, d, 1.0f, args.q, d,
+      unit, kt.data(), s, unit, 0.0f, scores.data(), s,
+      static_cast<std::int64_t>(s) * s);
+
+  // Kernel 3: separate elementwise scale (frameworks fold this into an
+  // explicit mul op).
+  const float scale = softmax_scale(d);
+  dev.parallel_for(0, score_sz / s, 8, [&](std::int64_t r) {
+    fp16_t* row = scores.data() + r * s;
+    for (int j = 0; j < s; ++j) store_f32(row[j], load_f32(row[j]) * scale);
+  });
+
+  // Kernel 4: masked softmax over the full padded score tensor.
+  kernels::softmax_full(dev, scores.data(), b, h, s, args.seq_lens);
+
+  // Kernel 5: batched GEMM P @ V.
+  gemm::batched_gemm<fp16_t, fp16_t, fp16_t>(
+      dev, gemm::Trans::N, gemm::Trans::N, b * h, s, d, s, 1.0f,
+      scores.data(), s, static_cast<std::int64_t>(s) * s, args.v, d, unit,
+      0.0f, ctx_tmp.data(), d, unit);
+
+  // Kernel 6: "contiguous" copy of the output (reshape materialization).
+  dev.parallel_for(0, static_cast<std::int64_t>(b) * h * s, 16,
+                   [&](std::int64_t r) {
+                     for (int j = 0; j < d; ++j) {
+                       args.ctx[r * d + j] = ctx_tmp[static_cast<std::size_t>(r * d + j)];
+                     }
+                   });
+}
+
+}  // namespace bt::attn

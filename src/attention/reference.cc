@@ -1,0 +1,56 @@
+#include <cmath>
+#include <vector>
+
+#include "attention/attention.h"
+
+namespace bt::attn {
+
+void mha_reference(const double* q, const double* k, const double* v,
+                   double* ctx, int batch, int heads, int max_seq,
+                   int head_size, std::span<const int> seq_lens, bool causal) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_size));
+  std::vector<double> row(static_cast<std::size_t>(max_seq));
+  for (int b = 0; b < batch; ++b) {
+    const int full_len = seq_lens[static_cast<std::size_t>(b)];
+    for (int h = 0; h < heads; ++h) {
+      const std::int64_t base =
+          (static_cast<std::int64_t>(b) * heads + h) * max_seq * head_size;
+      const double* qh = q + base;
+      const double* kh = k + base;
+      const double* vh = v + base;
+      double* ch = ctx + base;
+      for (int i = 0; i < max_seq; ++i) {
+        double* out = ch + static_cast<std::int64_t>(i) * head_size;
+        if (i >= full_len) {
+          for (int d = 0; d < head_size; ++d) out[d] = 0.0;
+          continue;
+        }
+        const int len = causal ? i + 1 : full_len;
+        // scores
+        double mx = -INFINITY;
+        for (int j = 0; j < len; ++j) {
+          double s = 0;
+          for (int d = 0; d < head_size; ++d) {
+            s += qh[static_cast<std::int64_t>(i) * head_size + d] *
+                 kh[static_cast<std::int64_t>(j) * head_size + d];
+          }
+          row[static_cast<std::size_t>(j)] = s * scale;
+          mx = std::max(mx, row[static_cast<std::size_t>(j)]);
+        }
+        double sum = 0;
+        for (int j = 0; j < len; ++j) {
+          row[static_cast<std::size_t>(j)] = std::exp(row[static_cast<std::size_t>(j)] - mx);
+          sum += row[static_cast<std::size_t>(j)];
+        }
+        for (int d = 0; d < head_size; ++d) out[d] = 0.0;
+        for (int j = 0; j < len; ++j) {
+          const double p = row[static_cast<std::size_t>(j)] / sum;
+          const double* vr = vh + static_cast<std::int64_t>(j) * head_size;
+          for (int d = 0; d < head_size; ++d) out[d] += p * vr[d];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bt::attn

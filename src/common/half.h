@@ -1,0 +1,208 @@
+// IEEE-754 binary16 storage type.
+//
+// The paper stores all activations/weights in FP16 to drive A100 tensor
+// cores, accumulating in FP32.  This type reproduces those numerics on CPU:
+// round-to-nearest-even on every store, exact widening on every load, FP32
+// accumulation everywhere (see gemm/microkernel.h).  When the host has F16C
+// the conversions compile to vcvtps2ph/vcvtph2ps; otherwise a branch-free
+// software path is used.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
+
+namespace bt {
+
+namespace detail {
+
+inline std::uint16_t float_to_half_bits_soft(float f) noexcept {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  x &= 0x7FFFFFFFu;
+
+  if (x >= 0x7F800000u) {                     // Inf / NaN
+    // Preserve NaN payload top bit; quiet the NaN.
+    const std::uint32_t mantissa = (x > 0x7F800000u) ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | mantissa |
+                                      ((x & 0x007FFFFFu) >> 13));
+  }
+  if (x >= 0x477FF000u) {                     // overflow -> Inf (>= 65520)
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (x < 0x38800000u) {                      // subnormal half or zero
+    if (x < 0x33000001u) {                    // underflows to zero (<= 2^-25)
+      return static_cast<std::uint16_t>(sign);
+    }
+    // half_subnormal = round(mant24 * 2^(e - 126)); shift in [14, 24].
+    const int shift = 126 - static_cast<int>(x >> 23);
+    std::uint64_t mant = (x & 0x007FFFFFu) | 0x00800000u;
+    const std::uint64_t dropped = mant & ((std::uint64_t{1} << shift) - 1u);
+    mant >>= shift;
+    const std::uint64_t halfway = std::uint64_t{1} << (shift - 1);
+    if (dropped > halfway || (dropped == halfway && (mant & 1u))) {
+      ++mant;                                 // round-to-nearest-even
+    }
+    return static_cast<std::uint16_t>(sign | mant);
+  }
+  // normal case: rebias exponent 127 -> 15, round mantissa 23 -> 10 bits
+  std::uint32_t half = ((x - 0x38000000u) >> 13);
+  const std::uint32_t dropped = x & 0x1FFFu;
+  if (dropped > 0x1000u || (dropped == 0x1000u && (half & 1u))) {
+    ++half;                                   // may carry into exponent: still correct
+  }
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+inline float half_bits_to_float_soft(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;                             // +-0
+    } else {                                  // subnormal: normalize
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {                  // Inf / NaN
+    out = sign | 0x7F800000u | (mant << 13);
+  } else {
+    out = sign | ((exp + (127 - 15)) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &out, sizeof(f));
+  return f;
+}
+
+}  // namespace detail
+
+// FP16 storage type. Construction from float rounds to nearest-even;
+// conversion to float is implicit (and exact), mirroring CUDA __half usage.
+class fp16_t {
+ public:
+  fp16_t() = default;
+
+  explicit fp16_t(float f) noexcept : bits_(from_float(f)) {}
+  explicit fp16_t(double d) noexcept : bits_(from_float(static_cast<float>(d))) {}
+  explicit fp16_t(int i) noexcept : bits_(from_float(static_cast<float>(i))) {}
+
+  operator float() const noexcept { return to_float(bits_); }
+
+  static constexpr fp16_t from_bits(std::uint16_t b) noexcept {
+    fp16_t h;
+    h.bits_ = b;
+    return h;
+  }
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  fp16_t& operator+=(float v) noexcept {
+    *this = fp16_t(static_cast<float>(*this) + v);
+    return *this;
+  }
+
+  static std::uint16_t from_float(float f) noexcept {
+#if defined(__F16C__)
+    return static_cast<std::uint16_t>(
+        _cvtss_sh(f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+#else
+    return detail::float_to_half_bits_soft(f);
+#endif
+  }
+
+  static float to_float(std::uint16_t bits) noexcept {
+#if defined(__F16C__)
+    return _cvtsh_ss(bits);
+#else
+    return detail::half_bits_to_float_soft(bits);
+#endif
+  }
+
+ private:
+  // Intentionally uninitialized by the defaulted constructor (trivial type,
+  // like CUDA __half) so Tensor buffers can be memset/memcpy'd.
+  std::uint16_t bits_;
+};
+
+static_assert(sizeof(fp16_t) == 2, "fp16_t must be 2 bytes");
+static_assert(std::is_trivially_copyable_v<fp16_t>);
+
+// Accumulator type mapping: all reductions/GEMM accumulations run in FP32
+// regardless of storage type, matching tensor-core semantics.
+template <typename T>
+struct acc_type {
+  using type = T;
+};
+template <>
+struct acc_type<fp16_t> {
+  using type = float;
+};
+template <typename T>
+using acc_t = typename acc_type<T>::type;
+
+// Widening load / rounding store helpers usable in generic kernels.
+inline float load_f32(fp16_t v) noexcept { return static_cast<float>(v); }
+inline float load_f32(float v) noexcept { return v; }
+inline void store_f32(fp16_t& dst, float v) noexcept { dst = fp16_t(v); }
+inline void store_f32(float& dst, float v) noexcept { dst = v; }
+
+// Row-wise widening conversion, 8-wide via F16C where available. Hot kernels
+// (attention inner loops, GEMM operand packing) convert whole rows at once
+// instead of per-element scalar conversions.
+inline void convert_row_f32(const fp16_t* src, float* dst, std::int64_t n) noexcept {
+  std::int64_t i = 0;
+#if defined(__F16C__)
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+inline void convert_row_f32(const float* src, float* dst, std::int64_t n) noexcept {
+  std::memcpy(dst, src, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+// Narrowing store of a whole row (RNE per element).
+inline void convert_row_from_f32(const float* src, fp16_t* dst, std::int64_t n) noexcept {
+  std::int64_t i = 0;
+#if defined(__F16C__)
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_loadu_ps(src + i);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = fp16_t(src[i]);
+}
+inline void convert_row_from_f32(const float* src, float* dst, std::int64_t n) noexcept {
+  std::memcpy(dst, src, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+// 4-way unrolled dot product (manual partial sums so the compiler can keep
+// independent FMA chains without -ffast-math reassociation).
+inline float dot_f32(const float* a, const float* b, std::int64_t n) noexcept {
+  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+}  // namespace bt

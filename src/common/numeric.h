@@ -1,0 +1,53 @@
+// Scalar math used by the memory-bound transformer kernels.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace bt {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) noexcept {
+  return ceil_div(a, b) * b;
+}
+
+// Branch-free Pade [7/6] tanh: ~1e-6 absolute error for |x| <= 4.97, then
+// clamped (|tanh| > 0.99986 there). No libm call, so the compiler can
+// vectorize GELU in both the standalone kernel and the GEMM epilogue — the
+// CPU analogue of the fast device-side tanh the CUDA epilogue uses.
+inline float fast_tanh(float x) noexcept {
+  x = x > 4.97f ? 4.97f : (x < -4.97f ? -4.97f : x);
+  const float x2 = x * x;
+  const float num = x * (135135.0f + x2 * (17325.0f + x2 * (378.0f + x2)));
+  const float den = 135135.0f + x2 * (62370.0f + x2 * (3150.0f + x2 * 28.0f));
+  return num / den;
+}
+
+// GELU with the tanh approximation used by BERT and by the paper's fused
+// epilogue (Hendrycks & Gimpel 2016).
+inline float gelu_tanh(float x) noexcept {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  constexpr float kCoef = 0.044715f;
+  return 0.5f * x * (1.0f + fast_tanh(kSqrt2OverPi * (x + kCoef * x * x * x)));
+}
+
+// Exact GELU via erf, used by the FP64 references in tests.
+inline double gelu_erf(double x) noexcept {
+  return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+inline float relu(float x) noexcept { return x > 0.0f ? x : 0.0f; }
+
+// Numerically-stable softmax building blocks (shared by every softmax
+// implementation so the variants differ only in traversal/fusion).
+inline float softmax_scale(int head_size) noexcept {
+  return 1.0f / std::sqrt(static_cast<float>(head_size));
+}
+
+}  // namespace bt

@@ -1,0 +1,53 @@
+// Deterministic RNG helpers.  All test/bench inputs are generated through
+// this wrapper so results are reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "common/half.h"
+
+namespace bt {
+
+// xoshiro-style splitmix for seeding, then mt19937 for distribution quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x42ULL) : engine_(split_mix(seed)) {}
+
+  float uniform(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  int uniform_int(int lo, int hi) {  // inclusive bounds
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  template <typename T>
+  void fill_normal(std::span<T> out, float mean = 0.0f, float stddev = 1.0f) {
+    for (T& v : out) store_f32(v, normal(mean, stddev));
+  }
+
+  template <typename T>
+  void fill_uniform(std::span<T> out, float lo, float hi) {
+    for (T& v : out) store_f32(v, uniform(lo, hi));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t split_mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bt

@@ -1,0 +1,68 @@
+// Wall-clock timing utilities for the benchmark harness and the Fig. 3
+// pipeline breakdown instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bt {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Named accumulator used by the encoder pipeline to attribute time to the
+// modules the paper profiles (GEMM0..3, MHA, layernorm0/1, bias+GELU).
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) {
+    total_[stage] += seconds;
+  }
+  void clear() { total_.clear(); }
+
+  const std::map<std::string, double>& stages() const { return total_; }
+
+  double total_seconds() const {
+    double s = 0;
+    for (const auto& [k, v] : total_) s += v;
+    return s;
+  }
+
+ private:
+  std::map<std::string, double> total_;
+};
+
+// RAII stage scope: adds elapsed time to `times[stage]` on destruction.
+// A null StageTimes pointer turns instrumentation off with zero overhead in
+// the hot path beyond one branch.
+class StageScope {
+ public:
+  StageScope(StageTimes* times, std::string stage)
+      : times_(times), stage_(std::move(stage)) {}
+  ~StageScope() {
+    if (times_ != nullptr) times_->add(stage_, timer_.seconds());
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  StageTimes* times_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace bt

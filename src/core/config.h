@@ -1,0 +1,95 @@
+// Model configurations for the BERT-like family evaluated in the paper
+// (Table IV) plus the step-wise optimization flags of Fig. 14.
+#pragma once
+
+#include <string>
+
+namespace bt::core {
+
+enum class ModelKind { kBert, kAlbert, kDistilBert, kDeberta };
+
+struct BertConfig {
+  ModelKind kind = ModelKind::kBert;
+  int layers = 12;
+  int heads = 12;
+  int head_size = 64;
+  int ffn_scale = 4;          // FFN inner dim = ffn_scale * hidden
+  bool share_layers = false;  // ALBERT cross-layer parameter sharing
+  int relative_span = 0;      // DeBERTa: max relative distance k
+                              // (embedding table holds 2k positions)
+
+  int hidden() const noexcept { return heads * head_size; }
+  int ffn_inner() const noexcept { return ffn_scale * hidden(); }
+
+  // Paper Table IV configurations.
+  static BertConfig bert_base() { return {ModelKind::kBert, 12, 12, 64, 4, false, 0}; }
+  static BertConfig albert_base() { return {ModelKind::kAlbert, 12, 16, 64, 4, true, 0}; }
+  static BertConfig distilbert_base() {
+    return {ModelKind::kDistilBert, 6, 12, 64, 4, false, 0};
+  }
+  static BertConfig deberta_base() {
+    return {ModelKind::kDeberta, 12, 12, 64, 4, false, 128};
+  }
+
+  // Structure-preserving reduced configuration for the 2-core CPU benches:
+  // head_size stays 64 (it drives every kernel's inner dimension and the
+  // short/long MHA cutoff); heads/layers shrink.
+  BertConfig scaled(int new_heads, int new_layers) const {
+    BertConfig c = *this;
+    c.heads = new_heads;
+    c.layers = new_layers;
+    return c;
+  }
+};
+
+// Which padded MHA implementation a padded (or rebuilt-padding) pipeline
+// uses. See attention/attention.h for the variant semantics.
+enum class PaddedMhaKind { kPyTorchLike, kBatched, kBatchedZeroPad };
+
+// Which packed MHA implementation a zero-padding pipeline uses when
+// fused_mha is enabled.
+enum class FusedMhaKind { kDispatch, kShort, kLong, kFlashLike };
+
+// Step-wise optimization levels (each Fig. 14 variant includes all previous
+// optimizations). `baseline()` is the Fig. 2(a) pipeline.
+struct OptFlags {
+  bool fuse_layernorm = false;  // fused add-bias + residual + layernorm
+  bool fuse_bias_gelu = false;  // bias+GELU fused into the GEMM epilogue
+  bool zero_padding = false;    // packed (padding-free) pipeline
+  bool fused_mha = false;       // ByteTransformer fused MHA
+  PaddedMhaKind padded_mha = PaddedMhaKind::kBatched;
+  FusedMhaKind fused_kind = FusedMhaKind::kDispatch;
+
+  static OptFlags baseline() { return {}; }
+  static OptFlags layernorm_fused() {
+    OptFlags f = baseline();
+    f.fuse_layernorm = true;
+    return f;
+  }
+  static OptFlags bias_gelu_fused() {
+    OptFlags f = layernorm_fused();
+    f.fuse_bias_gelu = true;
+    return f;
+  }
+  static OptFlags zero_padding_enabled() {
+    OptFlags f = bias_gelu_fused();
+    f.zero_padding = true;
+    f.padded_mha = PaddedMhaKind::kBatchedZeroPad;
+    return f;
+  }
+  static OptFlags byte_transformer() {
+    OptFlags f = zero_padding_enabled();
+    f.fused_mha = true;
+    return f;
+  }
+
+  std::string name() const {
+    if (fused_mha) return "fused-mha";
+    if (zero_padding) return "zero-padding";
+    if (fuse_bias_gelu) return "bias-gelu-fusion";
+    if (fuse_layernorm) return "layernorm-fusion";
+    return "baseline";
+  }
+};
+
+}  // namespace bt::core

@@ -1,0 +1,32 @@
+// One BERT encoder layer, parameterized by the step-wise optimization flags
+// of Fig. 14. The same function implements every rung of the ladder — from
+// the Fig. 2(a) padded baseline to the fully fused, padding-free Fig. 2(c)
+// pipeline — so benchmark deltas isolate exactly one optimization at a time.
+//
+// Tensor convention:
+//   * flags.zero_padding == false: input/output are padded token rows
+//     [batch * max_seq, hidden], padding rows zero-filled on entry.
+//   * flags.zero_padding == true:  input/output are packed token rows
+//     [valid_count, hidden] indexed through SeqOffsets.
+#pragma once
+
+#include "common/half.h"
+#include "common/timer.h"
+#include "core/config.h"
+#include "core/padding.h"
+#include "core/weights.h"
+#include "core/workspace.h"
+#include "parallel/device.h"
+
+namespace bt::core {
+
+// Stage keys used for the Fig. 3 breakdown: "gemm0", "attention", "gemm1",
+// "layernorm0", "gemm2", "add_bias_gelu" (unfused only), "gemm3",
+// "layernorm1". Split/merge transposes are attributed to "attention".
+void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
+                           const LayerWeights& w, const OptFlags& flags,
+                           const fp16_t* input, fp16_t* output,
+                           const SeqOffsets& off, Workspace& ws,
+                           StageTimes* times = nullptr);
+
+}  // namespace bt::core

@@ -1,0 +1,54 @@
+#include "core/model.h"
+
+#include "models/deberta.h"
+
+namespace bt::core {
+
+void BertModel::forward(par::Device& dev, const fp16_t* input, fp16_t* output,
+                        const SeqOffsets& off, const OptFlags& flags,
+                        Workspace& ws, StageTimes* times) const {
+  const BertConfig& cfg = weights_.config;
+  const std::int64_t h = cfg.hidden();
+  const std::int64_t padded_rows =
+      static_cast<std::int64_t>(off.batch) * off.max_seq;
+  const std::int64_t rows = flags.zero_padding ? off.valid_count : padded_rows;
+
+  auto buf_a = ws.get<fp16_t>("model.buf_a", rows * h);
+  auto buf_b = ws.get<fp16_t>("model.buf_b", rows * h);
+
+  const fp16_t* cur = input;
+  if (flags.zero_padding) {
+    StageScope scope(times, "padding");
+    pack_rows(dev, input, buf_a.data(), off, h);
+    cur = buf_a.data();
+  }
+
+  // Where layer i writes: alternate buffers; the last layer writes the
+  // caller's output directly (padded mode) or the final packed buffer.
+  fp16_t* packed_final = nullptr;
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    fp16_t* dst;
+    const bool last = layer == cfg.layers - 1;
+    if (last && !flags.zero_padding) {
+      dst = output;
+    } else {
+      dst = (cur == buf_a.data()) ? buf_b.data() : buf_a.data();
+    }
+    const LayerWeights& w = weights_.layer(layer);
+    if (cfg.kind == ModelKind::kDeberta) {
+      models::deberta_layer_forward(dev, cfg, weights_, w, flags, cur, dst,
+                                    off, ws, times);
+    } else {
+      encoder_layer_forward(dev, cfg, w, flags, cur, dst, off, ws, times);
+    }
+    cur = dst;
+    if (last) packed_final = dst;
+  }
+
+  if (flags.zero_padding) {
+    StageScope scope(times, "padding");
+    unpack_rows(dev, packed_final, output, off, h);
+  }
+}
+
+}  // namespace bt::core

@@ -1,0 +1,43 @@
+// Stacked encoder model (BERT / ALBERT / DistilBERT / DeBERTa).
+//
+// The model owns its weights and runs `config.layers` encoder iterations,
+// dispatching to the DeBERTa disentangled-attention layer when configured.
+// With flags.zero_padding the input is packed once on entry, every layer
+// runs on packed rows, and the final hidden states are rebuilt to the padded
+// layout on exit (paper Fig. 2c), so callers always see padded tensors.
+#pragma once
+
+#include "common/half.h"
+#include "common/timer.h"
+#include "core/config.h"
+#include "core/encoder_layer.h"
+#include "core/padding.h"
+#include "core/weights.h"
+#include "core/workspace.h"
+#include "parallel/device.h"
+
+namespace bt::core {
+
+class BertModel {
+ public:
+  explicit BertModel(ModelWeights weights) : weights_(std::move(weights)) {}
+
+  const BertConfig& config() const noexcept { return weights_.config; }
+  const ModelWeights& weights() const noexcept { return weights_; }
+
+  // input/output: padded token rows [batch * max_seq, hidden]; padding rows
+  // of `input` must be zero-filled. `off` describes the valid tokens.
+  // Pack/unpack time is attributed to the "padding" stage of `times`.
+  void forward(par::Device& dev, const fp16_t* input, fp16_t* output,
+               const SeqOffsets& off, const OptFlags& flags, Workspace& ws,
+               StageTimes* times = nullptr) const;
+
+  static BertModel random(const BertConfig& cfg, Rng& rng) {
+    return BertModel(ModelWeights::random(cfg, rng));
+  }
+
+ private:
+  ModelWeights weights_;
+};
+
+}  // namespace bt::core

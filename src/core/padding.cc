@@ -1,0 +1,128 @@
+#include "core/padding.h"
+
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+namespace bt::core {
+
+namespace {
+
+// Shared tail: fills packed_to_padded / padded_to_packed given per-row
+// local prefix sums. mask may be null (prefix-valid rows).
+void finalize_mappings(par::Device& dev, SeqOffsets& off,
+                       std::span<const std::uint8_t> mask) {
+  const int batch = off.batch;
+  const int max_seq = off.max_seq;
+  off.batch_offset.assign(static_cast<std::size_t>(batch) + 1, 0);
+  for (int b = 0; b < batch; ++b) {
+    off.batch_offset[static_cast<std::size_t>(b) + 1] =
+        off.batch_offset[static_cast<std::size_t>(b)] +
+        off.seq_lens[static_cast<std::size_t>(b)];
+  }
+  off.valid_count = off.batch_offset[static_cast<std::size_t>(batch)];
+  off.packed_to_padded.assign(static_cast<std::size_t>(off.valid_count), 0);
+  off.padded_to_packed.assign(static_cast<std::size_t>(batch) * max_seq, -1);
+
+  // One task per sequence: each walks its row once (the warp-per-sequence
+  // prefix-sum kernel of Fig. 4).
+  dev.parallel_for(0, batch, /*grain=*/1, [&](std::int64_t b) {
+    std::int64_t packed = off.batch_offset[static_cast<std::size_t>(b)];
+    for (int s = 0; s < max_seq; ++s) {
+      const std::int64_t padded = b * max_seq + s;
+      const bool valid =
+          mask.empty() ? (s < off.seq_lens[static_cast<std::size_t>(b)])
+                       : (mask[static_cast<std::size_t>(padded)] != 0);
+      if (valid) {
+        off.packed_to_padded[static_cast<std::size_t>(packed)] =
+            static_cast<std::int32_t>(padded);
+        off.padded_to_packed[static_cast<std::size_t>(padded)] =
+            static_cast<std::int32_t>(packed);
+        ++packed;
+      }
+    }
+  });
+}
+
+template <typename T>
+void pack_rows_impl(par::Device& dev, const T* padded, T* packed,
+                    const SeqOffsets& off, std::int64_t hidden) {
+  dev.parallel_for(0, off.valid_count, /*grain=*/16, [&](std::int64_t v) {
+    const std::int64_t src = off.packed_to_padded[static_cast<std::size_t>(v)];
+    std::memcpy(packed + v * hidden, padded + src * hidden,
+                sizeof(T) * static_cast<std::size_t>(hidden));
+  });
+}
+
+template <typename T>
+void unpack_rows_impl(par::Device& dev, const T* packed, T* padded,
+                      const SeqOffsets& off, std::int64_t hidden) {
+  const std::int64_t total = static_cast<std::int64_t>(off.batch) * off.max_seq;
+  dev.parallel_for(0, total, /*grain=*/16, [&](std::int64_t p) {
+    const std::int32_t v = off.padded_to_packed[static_cast<std::size_t>(p)];
+    if (v >= 0) {
+      std::memcpy(padded + p * hidden, packed + static_cast<std::int64_t>(v) * hidden,
+                  sizeof(T) * static_cast<std::size_t>(hidden));
+    } else {
+      std::memset(padded + p * hidden, 0,
+                  sizeof(T) * static_cast<std::size_t>(hidden));
+    }
+  });
+}
+
+}  // namespace
+
+SeqOffsets build_seq_offsets(par::Device& dev, std::span<const int> seq_lens,
+                             int max_seq) {
+  SeqOffsets off;
+  off.batch = static_cast<int>(seq_lens.size());
+  off.max_seq = max_seq;
+  off.seq_lens.assign(seq_lens.begin(), seq_lens.end());
+  for (int len : off.seq_lens) {
+    assert(len >= 1 && len <= max_seq);
+    (void)len;
+  }
+  finalize_mappings(dev, off, {});
+  return off;
+}
+
+SeqOffsets build_seq_offsets_from_mask(par::Device& dev,
+                                       std::span<const std::uint8_t> mask,
+                                       int batch, int max_seq) {
+  assert(static_cast<std::int64_t>(mask.size()) ==
+         static_cast<std::int64_t>(batch) * max_seq);
+  SeqOffsets off;
+  off.batch = batch;
+  off.max_seq = max_seq;
+  off.seq_lens.assign(static_cast<std::size_t>(batch), 0);
+  // Per-sequence popcount in parallel, then a short serial scan across the
+  // batch (the cross-warp combine step).
+  dev.parallel_for(0, batch, /*grain=*/1, [&](std::int64_t b) {
+    int count = 0;
+    for (int s = 0; s < max_seq; ++s) {
+      count += mask[static_cast<std::size_t>(b * max_seq + s)] != 0 ? 1 : 0;
+    }
+    off.seq_lens[static_cast<std::size_t>(b)] = count;
+  });
+  finalize_mappings(dev, off, mask);
+  return off;
+}
+
+void pack_rows(par::Device& dev, const fp16_t* padded, fp16_t* packed,
+               const SeqOffsets& off, std::int64_t hidden) {
+  pack_rows_impl(dev, padded, packed, off, hidden);
+}
+void pack_rows(par::Device& dev, const float* padded, float* packed,
+               const SeqOffsets& off, std::int64_t hidden) {
+  pack_rows_impl(dev, padded, packed, off, hidden);
+}
+void unpack_rows(par::Device& dev, const fp16_t* packed, fp16_t* padded,
+                 const SeqOffsets& off, std::int64_t hidden) {
+  unpack_rows_impl(dev, packed, padded, off, hidden);
+}
+void unpack_rows(par::Device& dev, const float* packed, float* padded,
+                 const SeqOffsets& off, std::int64_t hidden) {
+  unpack_rows_impl(dev, packed, padded, off, hidden);
+}
+
+}  // namespace bt::core

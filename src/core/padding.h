@@ -1,0 +1,66 @@
+// The zero-padding (padding-free) algorithm — paper Sec. III-D, Fig. 4.
+//
+// Variable-length batches are described by a 0/1 mask over the padded
+// [batch, max_seq] token grid. A parallel prefix sum over the mask yields,
+// for every valid token, its row in the *packed* tensor, and the inverse
+// mapping used to rebuild padded tensors where batched GEMM demands uniform
+// shapes. All downstream operations index through this SeqOffsets structure,
+// which is what keeps the pipeline semantics identical to the padded one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/half.h"
+#include "parallel/device.h"
+
+namespace bt::core {
+
+struct SeqOffsets {
+  int batch = 0;
+  int max_seq = 0;
+  std::int64_t valid_count = 0;
+
+  std::vector<int> seq_lens;               // [batch] valid tokens per sequence
+  std::vector<std::int64_t> batch_offset;  // [batch+1] packed row of each
+                                           // sequence's first token
+  std::vector<std::int32_t> packed_to_padded;  // [valid] -> b*max_seq + s
+  std::vector<std::int32_t> padded_to_packed;  // [batch*max_seq] -> packed row
+                                               // or -1 for padding
+
+  // Average-to-maximum sequence length ratio (the paper's alpha).
+  double fill_ratio() const {
+    return max_seq > 0 && batch > 0
+               ? static_cast<double>(valid_count) / (static_cast<double>(batch) * max_seq)
+               : 0.0;
+  }
+};
+
+// Prefix-sum construction from per-sequence lengths (the common case where
+// valid tokens form a prefix of each row). One parallel task per sequence,
+// mirroring the paper's one-warp-per-sequence CUDA kernel.
+SeqOffsets build_seq_offsets(par::Device& dev, std::span<const int> seq_lens,
+                             int max_seq);
+
+// General construction from an arbitrary 0/1 mask matrix [batch * max_seq]
+// (Fig. 4's formulation). Supports non-prefix masks; seq_lens[b] is the
+// count of valid tokens in row b.
+SeqOffsets build_seq_offsets_from_mask(par::Device& dev,
+                                       std::span<const std::uint8_t> mask,
+                                       int batch, int max_seq);
+
+// packed[v, :] = padded[packed_to_padded[v], :]
+void pack_rows(par::Device& dev, const fp16_t* padded, fp16_t* packed,
+               const SeqOffsets& off, std::int64_t hidden);
+void pack_rows(par::Device& dev, const float* padded, float* packed,
+               const SeqOffsets& off, std::int64_t hidden);
+
+// padded[packed_to_padded[v], :] = packed[v, :]; padding rows zero-filled
+// ("rebuild padding").
+void unpack_rows(par::Device& dev, const fp16_t* packed, fp16_t* padded,
+                 const SeqOffsets& off, std::int64_t hidden);
+void unpack_rows(par::Device& dev, const float* packed, float* padded,
+                 const SeqOffsets& off, std::int64_t hidden);
+
+}  // namespace bt::core

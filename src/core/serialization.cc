@@ -1,0 +1,159 @@
+#include "core/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace bt::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42545746;  // "BTWF"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool write_u32(std::FILE* f, std::uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool read_u32(std::FILE* f, std::uint32_t& v) {
+  return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+bool write_i64(std::FILE* f, std::int64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool read_i64(std::FILE* f, std::int64_t& v) {
+  return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+template <typename T>
+bool write_tensor(std::FILE* f, const Tensor<T>& t) {
+  if (!write_u32(f, static_cast<std::uint32_t>(t.rank()))) return false;
+  for (int i = 0; i < t.rank(); ++i) {
+    if (!write_i64(f, t.dim(i))) return false;
+  }
+  if (t.size() == 0) return true;
+  return std::fwrite(t.data(), sizeof(T), static_cast<std::size_t>(t.size()),
+                     f) == static_cast<std::size_t>(t.size());
+}
+
+template <typename T>
+bool read_tensor(std::FILE* f, Tensor<T>& t) {
+  std::uint32_t rank = 0;
+  if (!read_u32(f, rank) || rank > 8) return false;
+  std::vector<std::int64_t> shape(rank);
+  for (auto& d : shape) {
+    if (!read_i64(f, d) || d < 0) return false;
+  }
+  t = Tensor<T>(std::move(shape));
+  if (t.size() == 0) return true;
+  return std::fread(t.data(), sizeof(T), static_cast<std::size_t>(t.size()),
+                    f) == static_cast<std::size_t>(t.size());
+}
+
+bool write_layer(std::FILE* f, const LayerWeights& w, bool deberta) {
+  return write_tensor(f, w.w_qkv) && write_tensor(f, w.b_qkv) &&
+         write_tensor(f, w.w_proj) && write_tensor(f, w.b_proj) &&
+         write_tensor(f, w.ln1_gamma) && write_tensor(f, w.ln1_beta) &&
+         write_tensor(f, w.w_ffn1) && write_tensor(f, w.b_ffn1) &&
+         write_tensor(f, w.w_ffn2) && write_tensor(f, w.b_ffn2) &&
+         write_tensor(f, w.ln2_gamma) && write_tensor(f, w.ln2_beta) &&
+         (!deberta || (write_tensor(f, w.w_pos_key) &&
+                       write_tensor(f, w.w_pos_query)));
+}
+
+bool read_layer(std::FILE* f, LayerWeights& w, bool deberta) {
+  return read_tensor(f, w.w_qkv) && read_tensor(f, w.b_qkv) &&
+         read_tensor(f, w.w_proj) && read_tensor(f, w.b_proj) &&
+         read_tensor(f, w.ln1_gamma) && read_tensor(f, w.ln1_beta) &&
+         read_tensor(f, w.w_ffn1) && read_tensor(f, w.b_ffn1) &&
+         read_tensor(f, w.w_ffn2) && read_tensor(f, w.b_ffn2) &&
+         read_tensor(f, w.ln2_gamma) && read_tensor(f, w.ln2_beta) &&
+         (!deberta ||
+          (read_tensor(f, w.w_pos_key) && read_tensor(f, w.w_pos_query)));
+}
+
+}  // namespace
+
+bool save_model_weights(const ModelWeights& weights, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  const BertConfig& c = weights.config;
+  if (!write_u32(f.get(), kMagic) || !write_u32(f.get(), kVersion) ||
+      !write_u32(f.get(), static_cast<std::uint32_t>(c.kind)) ||
+      !write_u32(f.get(), static_cast<std::uint32_t>(c.layers)) ||
+      !write_u32(f.get(), static_cast<std::uint32_t>(c.heads)) ||
+      !write_u32(f.get(), static_cast<std::uint32_t>(c.head_size)) ||
+      !write_u32(f.get(), static_cast<std::uint32_t>(c.ffn_scale)) ||
+      !write_u32(f.get(), c.share_layers ? 1 : 0) ||
+      !write_u32(f.get(), static_cast<std::uint32_t>(c.relative_span))) {
+    return false;
+  }
+  const bool deberta = c.kind == ModelKind::kDeberta;
+  if (!write_u32(f.get(), static_cast<std::uint32_t>(weights.layers.size()))) {
+    return false;
+  }
+  for (const LayerWeights& w : weights.layers) {
+    if (!write_layer(f.get(), w, deberta)) return false;
+  }
+  if (deberta && !write_tensor(f.get(), weights.rel_embed)) return false;
+  return std::fflush(f.get()) == 0;
+}
+
+bool load_model_weights(ModelWeights& weights, const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!read_u32(f.get(), magic) || magic != kMagic) return false;
+  if (!read_u32(f.get(), version) || version != kVersion) return false;
+
+  std::uint32_t kind = 0;
+  std::uint32_t layers = 0;
+  std::uint32_t heads = 0;
+  std::uint32_t head_size = 0;
+  std::uint32_t ffn_scale = 0;
+  std::uint32_t share = 0;
+  std::uint32_t span = 0;
+  if (!read_u32(f.get(), kind) || !read_u32(f.get(), layers) ||
+      !read_u32(f.get(), heads) || !read_u32(f.get(), head_size) ||
+      !read_u32(f.get(), ffn_scale) || !read_u32(f.get(), share) ||
+      !read_u32(f.get(), span) || kind > 3) {
+    return false;
+  }
+  BertConfig cfg;
+  cfg.kind = static_cast<ModelKind>(kind);
+  cfg.layers = static_cast<int>(layers);
+  cfg.heads = static_cast<int>(heads);
+  cfg.head_size = static_cast<int>(head_size);
+  cfg.ffn_scale = static_cast<int>(ffn_scale);
+  cfg.share_layers = share != 0;
+  cfg.relative_span = static_cast<int>(span);
+
+  std::uint32_t physical = 0;
+  if (!read_u32(f.get(), physical)) return false;
+  const std::uint32_t expected = cfg.share_layers ? 1u : layers;
+  if (physical != expected) return false;
+
+  weights.config = cfg;
+  weights.layers.clear();
+  weights.layers.resize(physical);
+  const bool deberta = cfg.kind == ModelKind::kDeberta;
+  for (LayerWeights& w : weights.layers) {
+    if (!read_layer(f.get(), w, deberta)) return false;
+    // Shape validation against the config.
+    if (w.w_qkv.rank() != 2 || w.w_qkv.dim(0) != cfg.hidden() ||
+        w.w_qkv.dim(1) != 3 * cfg.hidden()) {
+      return false;
+    }
+  }
+  if (deberta && !read_tensor(f.get(), weights.rel_embed)) return false;
+  return true;
+}
+
+}  // namespace bt::core

@@ -1,0 +1,24 @@
+// Binary weight serialization.
+//
+// A deployable inference engine needs durable weights; this is a minimal
+// versioned container: magic + version + config block, then each tensor as
+// (rank, dims, raw data). FP16 tensors are stored as their bit patterns, so
+// round trips are exact.
+#pragma once
+
+#include <string>
+
+#include "core/weights.h"
+
+namespace bt::core {
+
+// Writes the full model (config + all layer weights + DeBERTa extras) to
+// `path`. Returns false on I/O failure.
+bool save_model_weights(const ModelWeights& weights, const std::string& path);
+
+// Loads a model previously written by save_model_weights. Returns false on
+// I/O failure, bad magic/version, or a shape mismatch against the embedded
+// config.
+bool load_model_weights(ModelWeights& weights, const std::string& path);
+
+}  // namespace bt::core

@@ -1,0 +1,54 @@
+// Encoder weights (FP16 storage, matching the deployed ByteTransformer).
+//
+// Weight matrices are stored [in, out] row-major so every projection is a
+// plain no-transpose GEMM on token rows. The Q/K/V attribute matrices are
+// packed into one contiguous [H, 3H] matrix so positioning encoding runs as
+// a *single* GEMM per layer (paper Sec. III-A: "we pack them to continuous
+// memory space and launch a single batched GEMM kernel").
+#pragma once
+
+#include <vector>
+
+#include "common/half.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "tensor/tensor.h"
+
+namespace bt::core {
+
+struct LayerWeights {
+  Tensor<fp16_t> w_qkv;  // [H, 3H]  packed Q|K|V projections
+  Tensor<fp16_t> b_qkv;  // [3H]
+  Tensor<fp16_t> w_proj;  // [H, H]  attention output projection
+  Tensor<fp16_t> b_proj;  // [H]
+  Tensor<float> ln1_gamma;  // [H]
+  Tensor<float> ln1_beta;   // [H]
+  Tensor<fp16_t> w_ffn1;  // [H, ffn_inner]
+  Tensor<fp16_t> b_ffn1;  // [ffn_inner]
+  Tensor<fp16_t> w_ffn2;  // [ffn_inner, H]
+  Tensor<fp16_t> b_ffn2;  // [H]
+  Tensor<float> ln2_gamma;  // [H]
+  Tensor<float> ln2_beta;   // [H]
+
+  // DeBERTa disentangled attention only: position projections (bias-free).
+  Tensor<fp16_t> w_pos_key;    // [H, H]
+  Tensor<fp16_t> w_pos_query;  // [H, H]
+
+  static LayerWeights random(const BertConfig& cfg, Rng& rng);
+};
+
+struct ModelWeights {
+  BertConfig config;
+  // ALBERT shares one physical layer across all logical layers.
+  std::vector<LayerWeights> layers;
+  // DeBERTa: relative position embedding table [2k, H].
+  Tensor<fp16_t> rel_embed;
+
+  const LayerWeights& layer(int i) const {
+    return layers[config.share_layers ? 0 : static_cast<std::size_t>(i)];
+  }
+
+  static ModelWeights random(const BertConfig& cfg, Rng& rng);
+};
+
+}  // namespace bt::core

@@ -1,0 +1,62 @@
+#include "costmodel/flops.h"
+
+namespace bt::costmodel {
+
+LayerFlops layer_flops(const core::BertConfig& cfg, int batch, int max_seq,
+                       double alpha, PaddingMode mode) {
+  const double k = cfg.hidden();
+  const double m = static_cast<double>(batch) * max_seq;
+  const double bs = batch;
+  const double am = (mode == PaddingMode::kBaseline) ? m : alpha * m;
+
+  LayerFlops f;
+  f.gemm0 = 6.0 * am * k * k;
+  f.gemm1 = 2.0 * am * k * k;
+  f.gemm2 = 8.0 * am * k * k;
+  f.gemm3 = 8.0 * am * k * k;
+  switch (mode) {
+    case PaddingMode::kBaseline:
+    case PaddingMode::kZeroPadding:
+      // Batched GEMM keeps the padded shape: quadratic in max_seq.
+      f.mha = 4.0 * m * m / bs * k;
+      break;
+    case PaddingMode::kZeroPaddingFusedMha:
+      f.mha = 4.0 * (alpha * m) * (alpha * m) / bs * k;
+      break;
+  }
+  return f;
+}
+
+LayerFlops layer_flops_exact(const core::BertConfig& cfg,
+                             std::span<const int> seq_lens, int max_seq,
+                             PaddingMode mode) {
+  const double k = cfg.hidden();
+  const int batch = static_cast<int>(seq_lens.size());
+  double valid = 0;
+  double sum_sq = 0;
+  for (int len : seq_lens) {
+    valid += len;
+    sum_sq += static_cast<double>(len) * len;
+  }
+  const double m = static_cast<double>(batch) * max_seq;
+  const double rows = (mode == PaddingMode::kBaseline) ? m : valid;
+
+  LayerFlops f;
+  f.gemm0 = 6.0 * rows * k * k;
+  f.gemm1 = 2.0 * rows * k * k;
+  f.gemm2 = 8.0 * rows * k * k;
+  f.gemm3 = 8.0 * rows * k * k;
+  switch (mode) {
+    case PaddingMode::kBaseline:
+    case PaddingMode::kZeroPadding:
+      f.mha = 4.0 * k * static_cast<double>(batch) * max_seq *
+              static_cast<double>(max_seq);
+      break;
+    case PaddingMode::kZeroPaddingFusedMha:
+      f.mha = 4.0 * k * sum_sq;
+      break;
+  }
+  return f;
+}
+
+}  // namespace bt::costmodel

@@ -1,0 +1,45 @@
+// Analytic FLOP model — paper Table II.
+//
+// With m = batch * max_seq tokens, k = hidden, bs = batch and
+// alpha = average/maximum length ratio:
+//
+//                  Baseline      Zero padding    Zero padding + fused MHA
+//   GEMM0          6 m k^2       6 (a m) k^2     6 (a m) k^2
+//   MHA            4 m^2/bs k    4 m^2/bs k      4 (a m)^2/bs k
+//   GEMM1          2 m k^2       2 (a m) k^2     2 (a m) k^2
+//   GEMM2          8 m k^2       8 (a m) k^2     8 (a m) k^2
+//   GEMM3          8 m k^2       8 (a m) k^2     8 (a m) k^2
+//
+// The MHA row for the alpha^2 case uses the exact sum over per-sequence
+// lengths when they are supplied (4 k sum_b len_b^2), since that is what the
+// grouped kernels actually compute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.h"
+
+namespace bt::costmodel {
+
+enum class PaddingMode { kBaseline, kZeroPadding, kZeroPaddingFusedMha };
+
+struct LayerFlops {
+  double gemm0 = 0;
+  double mha = 0;
+  double gemm1 = 0;
+  double gemm2 = 0;
+  double gemm3 = 0;
+  double total() const { return gemm0 + mha + gemm1 + gemm2 + gemm3; }
+};
+
+// Alpha-parameterized form (Table II verbatim).
+LayerFlops layer_flops(const core::BertConfig& cfg, int batch, int max_seq,
+                       double alpha, PaddingMode mode);
+
+// Exact form from actual per-sequence lengths.
+LayerFlops layer_flops_exact(const core::BertConfig& cfg,
+                             std::span<const int> seq_lens, int max_seq,
+                             PaddingMode mode);
+
+}  // namespace bt::costmodel

@@ -1,0 +1,98 @@
+#include "costmodel/makespan.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/numeric.h"
+
+namespace bt::costmodel {
+
+double makespan_seconds(std::span<const CtaCost> costs, const GpuSpec& g) {
+  if (costs.empty()) return 0.0;
+  // Compute side: min-heap of executor free times, FIFO assignment.
+  std::priority_queue<double, std::vector<double>, std::greater<>> sms;
+  for (int i = 0; i < g.num_sms; ++i) sms.push(0.0);
+  double compute_makespan = 0.0;
+  double total_bytes = 0.0;
+  for (const CtaCost& c : costs) {
+    const double start = sms.top();
+    sms.pop();
+    const double end = start + c.compute_seconds(g);
+    compute_makespan = std::max(compute_makespan, end);
+    sms.push(end);
+    total_bytes += c.bytes;
+  }
+  // Memory side: aggregate-bandwidth lower bound.
+  const double memory_floor = total_bytes / g.aggregate_bytes_per_sec;
+  return std::max(compute_makespan, memory_floor);
+}
+
+std::vector<CtaCost> flash_attention_ctas(std::span<const int> seq_lens,
+                                          int heads, int head_size) {
+  std::vector<CtaCost> ctas;
+  ctas.reserve(seq_lens.size() * static_cast<std::size_t>(heads));
+  for (int len : seq_lens) {
+    const double l = len;
+    const double d = head_size;
+    CtaCost c;
+    c.flops = 4.0 * l * l * d;              // QK^T + PV for the whole unit
+    c.bytes = 2.0 * (3.0 * l * d + l * d);  // stream Q,K,V; write O (FP16)
+    for (int h = 0; h < heads; ++h) ctas.push_back(c);
+  }
+  return ctas;
+}
+
+std::vector<CtaCost> fused_short_ctas(std::span<const int> seq_lens, int heads,
+                                      int head_size, int split_seq_len) {
+  std::vector<CtaCost> ctas;
+  for (int len : seq_lens) {
+    const double d = head_size;
+    const std::int64_t tiles = ceil_div(len, split_seq_len);
+    for (std::int64_t t = 0; t < tiles; ++t) {
+      const double rows = static_cast<double>(
+          std::min<std::int64_t>(split_seq_len, len - t * split_seq_len));
+      CtaCost c;
+      c.flops = 4.0 * rows * len * d;
+      // Loads its Q tile plus the unit's whole K and V; writes its rows.
+      c.bytes = 2.0 * (rows * d + 2.0 * len * d + rows * d);
+      for (int h = 0; h < heads; ++h) ctas.push_back(c);
+    }
+  }
+  return ctas;
+}
+
+std::vector<CtaCost> fused_long_ctas(std::span<const int> seq_lens, int heads,
+                                     int head_size) {
+  constexpr double kTile = 128.0;  // CUTLASS MC = NC = 128 (paper Fig. 8)
+  std::vector<CtaCost> ctas;
+  for (int len : seq_lens) {
+    const double d = head_size;
+    const std::int64_t grid = ceil_div(len, static_cast<std::int64_t>(kTile));
+    // GEMM 1 tiles: S = Q K^T, epilogue partial reduction, score write.
+    for (std::int64_t tm = 0; tm < grid; ++tm) {
+      for (std::int64_t tn = 0; tn < grid; ++tn) {
+        CtaCost c;
+        c.flops = 2.0 * kTile * kTile * d;
+        c.bytes = 2.0 * (2.0 * kTile * d + kTile * kTile);
+        for (int h = 0; h < heads; ++h) ctas.push_back(c);
+      }
+    }
+    // GEMM 2 tiles: O = P V with mainloop softmax fusion; reads the scores
+    // back (the materialization cost batched/grouped MHA pays and
+    // FlashAttention avoids).
+    for (std::int64_t tm = 0; tm < grid; ++tm) {
+      CtaCost c;
+      c.flops = 2.0 * kTile * d * len;
+      c.bytes = 2.0 * (kTile * len + len * d + kTile * d);
+      for (int h = 0; h < heads; ++h) ctas.push_back(c);
+    }
+    // Full-reduce kernel: one lightweight CTA per unit (~2% of time).
+    CtaCost r;
+    r.flops = static_cast<double>(len) * grid * 4.0;
+    r.bytes = 4.0 * 2.0 * len * grid;
+    for (int h = 0; h < heads; ++h) ctas.push_back(r);
+  }
+  return ctas;
+}
+
+}  // namespace bt::costmodel

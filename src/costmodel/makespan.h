@@ -1,0 +1,62 @@
+// Wave/makespan model of a wide GPU.
+//
+// The one effect in the paper's evaluation that cannot manifest on a 2-core
+// CPU is *device-width underutilization*: FlashAttention maps a whole
+// attention unit to a single CTA, so at batch 1 a BERT model offers only
+// `heads` CTAs to the A100's 108 SMs and most of the machine idles
+// (Fig. 13). This module projects the CPU-validated kernels onto an
+// A100-shaped machine with a two-resource bound:
+//   * compute: CTAs are list-scheduled FIFO onto num_sms executors, each CTA
+//     taking flops / per-SM-throughput ("GPU computes in waves", Fig. 5);
+//   * memory: HBM bandwidth is a machine-wide resource, so the run cannot
+//     finish before total_bytes / aggregate_bandwidth.
+// The makespan is the max of the two — a roofline over the schedule. This
+// charges the grouped-GEMM fused MHA for materializing its score matrices
+// (its real disadvantage at large batch) while still exposing
+// FlashAttention's starvation at small batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bt::costmodel {
+
+struct GpuSpec {
+  int num_sms = 108;
+  // A100 SXM: 312 TFLOP/s FP16 tensor; ~1.55 TB/s achievable HBM bandwidth.
+  double flops_per_sm = 312e12 / 108;
+  double aggregate_bytes_per_sec = 1.55e12;
+  double cta_launch_overhead = 1e-6;  // scheduler / launch cost per CTA
+
+  static GpuSpec a100() { return {}; }
+};
+
+struct CtaCost {
+  double flops = 0;
+  double bytes = 0;
+
+  double compute_seconds(const GpuSpec& g) const {
+    return flops / g.flops_per_sm + g.cta_launch_overhead;
+  }
+};
+
+// max( FIFO list schedule of compute times onto num_sms,
+//      sum(bytes) / aggregate bandwidth ).
+double makespan_seconds(std::span<const CtaCost> costs, const GpuSpec& g);
+
+// CTA decompositions of the attention variants (FP16 operands).
+//   FlashAttention-like: one CTA per (batch, head) unit.
+std::vector<CtaCost> flash_attention_ctas(std::span<const int> seq_lens,
+                                          int heads, int head_size);
+//   ByteTransformer short-seq fused MHA: one CTA per (batch, head,
+//   query tile of split_seq_len rows).
+std::vector<CtaCost> fused_short_ctas(std::span<const int> seq_lens, int heads,
+                                      int head_size, int split_seq_len);
+//   ByteTransformer long-seq grouped MHA: one CTA tile per 128x128 block of
+//   each grouped GEMM problem (both GEMMs), plus the full-reduce kernel.
+//   Charges the FP16 score-matrix write + read-back.
+std::vector<CtaCost> fused_long_ctas(std::span<const int> seq_lens, int heads,
+                                     int head_size);
+
+}  // namespace bt::costmodel

@@ -1,0 +1,16 @@
+#include "gemm/batched.h"
+
+namespace bt::gemm {
+
+void batched_gemm_f16(par::Device& dev, Trans ta, Trans tb, int batch,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      float alpha, const fp16_t* a, std::int64_t lda,
+                      std::int64_t stride_a, const fp16_t* b, std::int64_t ldb,
+                      std::int64_t stride_b, float beta, fp16_t* c,
+                      std::int64_t ldc, std::int64_t stride_c) {
+  batched_gemm<fp16_t, fp16_t, fp16_t>(dev, ta, tb, batch, m, n, k, alpha, a,
+                                       lda, stride_a, b, ldb, stride_b, beta,
+                                       c, ldc, stride_c);
+}
+
+}  // namespace bt::gemm

@@ -1,0 +1,49 @@
+// Strided batched GEMM: all batch entries share one (m, n, k) shape —
+// exactly the cuBLAS restriction that forces padded attention to compute on
+// zero tokens (paper Sec. III-D: "batched GEMM in MHA requires identical
+// problem shapes among different batches").
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/microkernel.h"
+#include "parallel/device.h"
+
+namespace bt::gemm {
+
+template <typename TA, typename TB, typename TC,
+          typename ATransform = IdentityATransform,
+          typename Epilogue = IdentityEpilogue>
+void batched_gemm(par::Device& dev, Trans ta, Trans tb, int batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const TA* a, std::int64_t lda, std::int64_t stride_a,
+                  const TB* b, std::int64_t ldb, std::int64_t stride_b,
+                  float beta, TC* c, std::int64_t ldc, std::int64_t stride_c,
+                  const Epilogue& ep = {}, const ATransform& at = {}) {
+  if (batch <= 0 || m <= 0 || n <= 0) return;
+  const auto tiles_m = ceil_div(m, TileShape::kM);
+  const auto tiles_n = ceil_div(n, TileShape::kN);
+  par::Dim3 grid;
+  grid.x = static_cast<int>(tiles_n);
+  grid.y = static_cast<int>(tiles_m);
+  grid.z = batch;
+  dev.launch(grid, [&](par::CtaContext& ctx) {
+    auto panel_a = ctx.scratch->alloc<float>(TileShape::kM * TileShape::kK);
+    auto panel_b = ctx.scratch->alloc<float>(TileShape::kK * TileShape::kN);
+    auto acc = ctx.scratch->alloc<float>(TileShape::kM * TileShape::kN);
+    const int bi = ctx.block_z;
+    compute_tile(/*problem=*/bi, ta, tb, m, n, k, alpha, a + bi * stride_a,
+                 lda, b + bi * stride_b, ldb, beta, c + bi * stride_c, ldc,
+                 ctx.block_y, ctx.block_x, panel_a.data(), panel_b.data(),
+                 acc.data(), at, ep);
+  });
+}
+
+void batched_gemm_f16(par::Device& dev, Trans ta, Trans tb, int batch,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      float alpha, const fp16_t* a, std::int64_t lda,
+                      std::int64_t stride_a, const fp16_t* b, std::int64_t ldb,
+                      std::int64_t stride_b, float beta, fp16_t* c,
+                      std::int64_t ldc, std::int64_t stride_c);
+
+}  // namespace bt::gemm

@@ -1,0 +1,21 @@
+#include "gemm/gemm.h"
+
+namespace bt::gemm {
+
+void gemm_f32(par::Device& dev, Trans ta, Trans tb, std::int64_t m,
+              std::int64_t n, std::int64_t k, float alpha, const float* a,
+              std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+              float* c, std::int64_t ldc) {
+  gemm<float, float, float>(dev, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta,
+                            c, ldc);
+}
+
+void gemm_f16(par::Device& dev, Trans ta, Trans tb, std::int64_t m,
+              std::int64_t n, std::int64_t k, float alpha, const fp16_t* a,
+              std::int64_t lda, const fp16_t* b, std::int64_t ldb, float beta,
+              fp16_t* c, std::int64_t ldc) {
+  gemm<fp16_t, fp16_t, fp16_t>(dev, ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                               beta, c, ldc);
+}
+
+}  // namespace bt::gemm

@@ -1,0 +1,69 @@
+// Single-problem GEMM: C = epilogue(alpha * op(A) @ op(B)) + beta * C.
+//
+// Row-major operands, FP16 or FP32 storage, FP32 accumulation. Work is
+// decomposed into kM x kN output tiles launched as a CTA grid on the device.
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/microkernel.h"
+#include "parallel/device.h"
+
+namespace bt::gemm {
+
+template <typename TA, typename TB, typename TC,
+          typename ATransform = IdentityATransform,
+          typename Epilogue = IdentityEpilogue>
+void gemm(par::Device& dev, Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const TA* a, std::int64_t lda,
+          const TB* b, std::int64_t ldb, float beta, TC* c, std::int64_t ldc,
+          const Epilogue& ep = {}, const ATransform& at = {}) {
+  if (m <= 0 || n <= 0) return;
+  const auto tiles_m = ceil_div(m, TileShape::kM);
+  const auto tiles_n = ceil_div(n, TileShape::kN);
+  par::Dim3 grid;
+  grid.x = static_cast<int>(tiles_n);
+  grid.y = static_cast<int>(tiles_m);
+  dev.launch(grid, [&](par::CtaContext& ctx) {
+    auto panel_a = ctx.scratch->alloc<float>(TileShape::kM * TileShape::kK);
+    auto panel_b = ctx.scratch->alloc<float>(TileShape::kK * TileShape::kN);
+    auto acc = ctx.scratch->alloc<float>(TileShape::kM * TileShape::kN);
+    compute_tile(/*problem=*/0, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta,
+                 c, ldc, ctx.block_y, ctx.block_x, panel_a.data(),
+                 panel_b.data(), acc.data(), at, ep);
+  });
+}
+
+// Convenience wrappers for the common storage combinations; implemented in
+// gemm.cc so most callers never instantiate the template themselves.
+void gemm_f32(par::Device& dev, Trans ta, Trans tb, std::int64_t m,
+              std::int64_t n, std::int64_t k, float alpha, const float* a,
+              std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+              float* c, std::int64_t ldc);
+
+void gemm_f16(par::Device& dev, Trans ta, Trans tb, std::int64_t m,
+              std::int64_t n, std::int64_t k, float alpha, const fp16_t* a,
+              std::int64_t lda, const fp16_t* b, std::int64_t ldb, float beta,
+              fp16_t* c, std::int64_t ldc);
+
+// Naive triple-loop FP64-accumulate reference, for tests only.
+template <typename TA, typename TB>
+void gemm_reference(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                    std::int64_t k, double alpha, const TA* a, std::int64_t lda,
+                    const TB* b, std::int64_t ldb, double* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double sum = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const double av = ta == Trans::N ? load_f32(a[i * lda + p])
+                                         : load_f32(a[p * lda + i]);
+        const double bv = tb == Trans::N ? load_f32(b[p * ldb + j])
+                                         : load_f32(b[j * ldb + p]);
+        sum += av * bv;
+      }
+      c[i * ldc + j] = alpha * sum;
+    }
+  }
+}
+
+}  // namespace bt::gemm

@@ -1,0 +1,13 @@
+#include "gemm/grouped.h"
+
+namespace bt::gemm {
+
+void grouped_gemm_f16(par::Device& dev, Trans ta, Trans tb,
+                      std::span<const GroupedProblem<fp16_t, fp16_t, fp16_t>> problems,
+                      float alpha, float beta, std::int64_t prefetch) {
+  grouped_gemm<fp16_t, fp16_t, fp16_t>(dev, ta, tb, problems, alpha, beta,
+                                       IdentityEpilogue{}, IdentityATransform{},
+                                       prefetch);
+}
+
+}  // namespace bt::gemm

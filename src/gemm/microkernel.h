@@ -1,0 +1,172 @@
+// Blocked GEMM microkernel with fusion hooks.
+//
+// Layout mirrors the CUTLASS kernels the paper builds on:
+//   * operands are packed into per-CTA scratch panels ("shared memory"),
+//     widening FP16 -> FP32 at pack time (tensor-core semantics),
+//   * the A-panel pack point is the *mainloop fusion* hook — ByteTransformer
+//     fuses the softmax normalization exp(x-max)/sum into the second grouped
+//     GEMM's operand load (paper Algorithm III.2),
+//   * the accumulator tile is the *epilogue fusion* hook — bias+GELU and the
+//     softmax partial reduction run on the FP32 accumulator before it is
+//     stored (paper Sec. III-C2 / Fig. 8).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "common/half.h"
+#include "common/numeric.h"
+
+namespace bt::gemm {
+
+enum class Trans : std::uint8_t { N, T };
+
+// CTA tile shape. 64x64 output tile with K blocked by 128 keeps all three
+// panels (A, B, accumulator) inside the default 164 KiB scratch arena.
+struct TileShape {
+  static constexpr int kM = 64;
+  static constexpr int kN = 64;
+  static constexpr int kK = 128;
+};
+
+// Default hooks: identity mainloop transform / identity epilogue.
+struct IdentityATransform {
+  float operator()(int /*problem*/, std::int64_t /*row*/, float v) const noexcept {
+    return v;
+  }
+};
+
+struct IdentityEpilogue {
+  float operator()(int /*problem*/, std::int64_t /*row*/, std::int64_t /*col*/,
+                   float v) const noexcept {
+    return v;
+  }
+};
+
+// Epilogues may additionally expose a whole-tile hook, called on the scaled
+// FP32 accumulator before values are transformed/stored. Used by the fused
+// softmax partial reduction.
+template <typename E>
+concept HasTileHook = requires(E e, int p, std::int64_t r0, std::int64_t c0,
+                               int rows, int cols, const float* acc, int ld) {
+  e.on_tile(p, r0, c0, rows, cols, acc, ld);
+};
+
+// Packs an mc x kc block of op(A) into a zero-padded kM x kK FP32 panel,
+// applying the mainloop transform to each loaded element.
+template <typename TA, typename ATransform>
+inline void pack_a_panel(Trans ta, const TA* a, std::int64_t lda,
+                         std::int64_t row0, std::int64_t k0, int mc, int kc,
+                         float* panel, int problem, const ATransform& at) {
+  for (int i = 0; i < mc; ++i) {
+    float* dst = panel + static_cast<std::int64_t>(i) * TileShape::kK;
+    const std::int64_t row = row0 + i;
+    if (ta == Trans::N) {
+      const TA* src = a + row * lda + k0;
+      for (int p = 0; p < kc; ++p) dst[p] = at(problem, row, load_f32(src[p]));
+    } else {
+      const TA* src = a + k0 * lda + row;
+      for (int p = 0; p < kc; ++p) {
+        dst[p] = at(problem, row, load_f32(src[static_cast<std::int64_t>(p) * lda]));
+      }
+    }
+    if (kc < TileShape::kK) {
+      std::memset(dst + kc, 0, sizeof(float) * static_cast<std::size_t>(TileShape::kK - kc));
+    }
+  }
+}
+
+// Packs a kc x nc block of op(B) into a zero-padded kK x kN FP32 panel.
+// Zero padding lets the inner product loop run at the full constant width.
+template <typename TB>
+inline void pack_b_panel(Trans tb, const TB* b, std::int64_t ldb,
+                         std::int64_t k0, std::int64_t col0, int kc, int nc,
+                         float* panel) {
+  for (int p = 0; p < kc; ++p) {
+    float* dst = panel + static_cast<std::int64_t>(p) * TileShape::kN;
+    if (tb == Trans::N) {
+      const TB* src = b + (k0 + p) * ldb + col0;
+      for (int j = 0; j < nc; ++j) dst[j] = load_f32(src[j]);
+    } else {
+      const TB* src = b + col0 * ldb + (k0 + p);
+      for (int j = 0; j < nc; ++j) {
+        dst[j] = load_f32(src[static_cast<std::int64_t>(j) * ldb]);
+      }
+    }
+    if (nc < TileShape::kN) {
+      std::memset(dst + nc, 0, sizeof(float) * static_cast<std::size_t>(TileShape::kN - nc));
+    }
+  }
+}
+
+// acc[mc][kN] += panelA[mc][kK] * panelB[kc][kN].  The j-loop runs at the
+// full padded width so the compiler emits straight-line FMA vector code.
+inline void tile_multiply(const float* panel_a, int mc, const float* panel_b,
+                          int kc, float* acc) {
+  for (int i = 0; i < mc; ++i) {
+    const float* a_row = panel_a + static_cast<std::int64_t>(i) * TileShape::kK;
+    float* acc_row = acc + static_cast<std::int64_t>(i) * TileShape::kN;
+    for (int p = 0; p < kc; ++p) {
+      const float av = a_row[p];
+      const float* b_row = panel_b + static_cast<std::int64_t>(p) * TileShape::kN;
+      for (int j = 0; j < TileShape::kN; ++j) {
+        acc_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+// Computes one kM x kN output tile of
+//   C = epilogue(alpha * op(A) @ op(B)) + beta * C
+// for a single problem. `panel_a/panel_b/acc` point into CTA scratch.
+template <typename TA, typename TB, typename TC, typename ATransform,
+          typename Epilogue>
+inline void compute_tile(int problem, Trans ta, Trans tb, std::int64_t m,
+                         std::int64_t n, std::int64_t k, float alpha,
+                         const TA* a, std::int64_t lda, const TB* b,
+                         std::int64_t ldb, float beta, TC* c, std::int64_t ldc,
+                         std::int64_t tile_m, std::int64_t tile_n,
+                         float* panel_a, float* panel_b, float* acc,
+                         const ATransform& at, const Epilogue& ep) {
+  const std::int64_t row0 = tile_m * TileShape::kM;
+  const std::int64_t col0 = tile_n * TileShape::kN;
+  const int mc = static_cast<int>(std::min<std::int64_t>(TileShape::kM, m - row0));
+  const int nc = static_cast<int>(std::min<std::int64_t>(TileShape::kN, n - col0));
+
+  std::memset(acc, 0, sizeof(float) * static_cast<std::size_t>(mc) * TileShape::kN);
+  for (std::int64_t k0 = 0; k0 < k; k0 += TileShape::kK) {
+    const int kc = static_cast<int>(std::min<std::int64_t>(TileShape::kK, k - k0));
+    pack_a_panel(ta, a, lda, row0, k0, mc, kc, panel_a, problem, at);
+    pack_b_panel(tb, b, ldb, k0, col0, kc, nc, panel_b);
+    tile_multiply(panel_a, mc, panel_b, kc, acc);
+  }
+
+  if (alpha != 1.0f) {
+    for (int i = 0; i < mc; ++i) {
+      float* acc_row = acc + static_cast<std::int64_t>(i) * TileShape::kN;
+      for (int j = 0; j < nc; ++j) acc_row[j] *= alpha;
+    }
+  }
+
+  if constexpr (HasTileHook<Epilogue>) {
+    ep.on_tile(problem, row0, col0, mc, nc, acc, TileShape::kN);
+  }
+
+  for (int i = 0; i < mc; ++i) {
+    const float* acc_row = acc + static_cast<std::int64_t>(i) * TileShape::kN;
+    TC* c_row = c + (row0 + i) * ldc + col0;
+    if (beta == 0.0f) {
+      for (int j = 0; j < nc; ++j) {
+        store_f32(c_row[j], ep(problem, row0 + i, col0 + j, acc_row[j]));
+      }
+    } else {
+      for (int j = 0; j < nc; ++j) {
+        store_f32(c_row[j], ep(problem, row0 + i, col0 + j, acc_row[j]) +
+                                beta * load_f32(c_row[j]));
+      }
+    }
+  }
+}
+
+}  // namespace bt::gemm

@@ -1,0 +1,50 @@
+#include "kernels/activation.h"
+
+#include "common/numeric.h"
+
+namespace bt::kernels {
+
+namespace {
+
+template <typename T>
+void add_bias_impl(par::Device& dev, T* x, const T* bias, std::int64_t rows,
+                   std::int64_t cols) {
+  dev.parallel_for(0, rows, /*grain=*/8, [&](std::int64_t r) {
+    T* row = x + r * cols;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      store_f32(row[j], load_f32(row[j]) + load_f32(bias[j]));
+    }
+  });
+}
+
+template <typename T>
+void add_bias_gelu_impl(par::Device& dev, T* x, const T* bias,
+                        std::int64_t rows, std::int64_t cols) {
+  dev.parallel_for(0, rows, /*grain=*/8, [&](std::int64_t r) {
+    T* row = x + r * cols;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      store_f32(row[j], gelu_tanh(load_f32(row[j]) + load_f32(bias[j])));
+    }
+  });
+}
+
+}  // namespace
+
+void add_bias(par::Device& dev, fp16_t* x, const fp16_t* bias,
+              std::int64_t rows, std::int64_t cols) {
+  add_bias_impl(dev, x, bias, rows, cols);
+}
+void add_bias(par::Device& dev, float* x, const float* bias,
+              std::int64_t rows, std::int64_t cols) {
+  add_bias_impl(dev, x, bias, rows, cols);
+}
+void add_bias_gelu(par::Device& dev, fp16_t* x, const fp16_t* bias,
+                   std::int64_t rows, std::int64_t cols) {
+  add_bias_gelu_impl(dev, x, bias, rows, cols);
+}
+void add_bias_gelu(par::Device& dev, float* x, const float* bias,
+                   std::int64_t rows, std::int64_t cols) {
+  add_bias_gelu_impl(dev, x, bias, rows, cols);
+}
+
+}  // namespace bt::kernels

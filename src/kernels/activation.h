@@ -1,0 +1,28 @@
+// Standalone add-bias / add-bias+GELU kernels.
+//
+// These are the *unfused* baselines for the paper's Fig. 10 experiment: a
+// framework without epilogue fusion stores the GEMM result to memory and
+// re-loads it here for the elementwise transform. ByteTransformer instead
+// fuses both into the GEMM epilogue (gemm/epilogues.h).
+#pragma once
+
+#include <cstdint>
+
+#include "common/half.h"
+#include "parallel/device.h"
+
+namespace bt::kernels {
+
+// x[r, c] += bias[c]
+void add_bias(par::Device& dev, fp16_t* x, const fp16_t* bias,
+              std::int64_t rows, std::int64_t cols);
+void add_bias(par::Device& dev, float* x, const float* bias,
+              std::int64_t rows, std::int64_t cols);
+
+// x[r, c] = gelu(x[r, c] + bias[c])
+void add_bias_gelu(par::Device& dev, fp16_t* x, const fp16_t* bias,
+                   std::int64_t rows, std::int64_t cols);
+void add_bias_gelu(par::Device& dev, float* x, const float* bias,
+                   std::int64_t rows, std::int64_t cols);
+
+}  // namespace bt::kernels

@@ -1,0 +1,126 @@
+#include "kernels/layernorm.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace bt::kernels {
+
+namespace {
+
+// Row statistics in FP32 (matching the CUDA kernels' FP32 reduction over
+// FP16 data, with SIMD2-style widened loads).
+template <typename T>
+inline void row_mean_var(const T* row, std::int64_t n, float& mean,
+                         float& inv_std) {
+  float sum = 0.0f;
+  for (std::int64_t j = 0; j < n; ++j) sum += load_f32(row[j]);
+  mean = sum / static_cast<float>(n);
+  float var = 0.0f;
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float d = load_f32(row[j]) - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  inv_std = 1.0f / std::sqrt(var + kLayerNormEps);
+}
+
+template <typename T>
+void fused_impl(par::Device& dev, T* out, const T* x, const T* residual,
+                const T* bias, const float* gamma, const float* beta,
+                std::int64_t rows, std::int64_t hidden) {
+  assert(hidden <= 4096 && "fused layernorm row buffer limit");
+  dev.parallel_for(0, rows, /*grain=*/4, [&](std::int64_t r) {
+    const T* xr = x + r * hidden;
+    const T* rr = residual + r * hidden;
+    T* orow = out + r * hidden;
+    // Single pass: accumulate the combined row into a stack buffer
+    // (register-file analogue), reduce, transform, store.
+    float buf[4096];
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      const float v = load_f32(xr[j]) + load_f32(bias[j]) + load_f32(rr[j]);
+      buf[j] = v;
+      sum += v;
+    }
+    const float mean = sum / static_cast<float>(hidden);
+    float var = 0.0f;
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      const float d = buf[j] - mean;
+      var += d * d;
+    }
+    const float inv_std =
+        1.0f / std::sqrt(var / static_cast<float>(hidden) + kLayerNormEps);
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      store_f32(orow[j], (buf[j] - mean) * inv_std * gamma[j] + beta[j]);
+    }
+  });
+}
+
+template <typename T>
+void add_impl(par::Device& dev, T* x, const T* residual, const T* bias,
+              std::int64_t rows, std::int64_t hidden) {
+  dev.parallel_for(0, rows, /*grain=*/4, [&](std::int64_t r) {
+    T* xr = x + r * hidden;
+    const T* rr = residual + r * hidden;
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      store_f32(xr[j], load_f32(xr[j]) + load_f32(bias[j]) + load_f32(rr[j]));
+    }
+  });
+}
+
+template <typename T>
+void ln_impl(par::Device& dev, T* out, const T* x, const float* gamma,
+             const float* beta, std::int64_t rows, std::int64_t hidden) {
+  dev.parallel_for(0, rows, /*grain=*/4, [&](std::int64_t r) {
+    const T* xr = x + r * hidden;
+    T* orow = out + r * hidden;
+    float mean = 0.0f;
+    float inv_std = 1.0f;
+    row_mean_var(xr, hidden, mean, inv_std);
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      store_f32(orow[j],
+                (load_f32(xr[j]) - mean) * inv_std * gamma[j] + beta[j]);
+    }
+  });
+}
+
+}  // namespace
+
+void add_bias_residual_layernorm(par::Device& dev, fp16_t* out,
+                                 const fp16_t* x, const fp16_t* residual,
+                                 const fp16_t* bias, const float* gamma,
+                                 const float* beta, std::int64_t rows,
+                                 std::int64_t hidden) {
+  fused_impl(dev, out, x, residual, bias, gamma, beta, rows, hidden);
+}
+void add_bias_residual_layernorm(par::Device& dev, float* out, const float* x,
+                                 const float* residual, const float* bias,
+                                 const float* gamma, const float* beta,
+                                 std::int64_t rows, std::int64_t hidden) {
+  fused_impl(dev, out, x, residual, bias, gamma, beta, rows, hidden);
+}
+
+void add_bias_residual(par::Device& dev, fp16_t* x, const fp16_t* residual,
+                       const fp16_t* bias, std::int64_t rows,
+                       std::int64_t hidden) {
+  add_impl(dev, x, residual, bias, rows, hidden);
+}
+void add_bias_residual(par::Device& dev, float* x, const float* residual,
+                       const float* bias, std::int64_t rows,
+                       std::int64_t hidden) {
+  add_impl(dev, x, residual, bias, rows, hidden);
+}
+
+void layernorm(par::Device& dev, fp16_t* out, const fp16_t* x,
+               const float* gamma, const float* beta, std::int64_t rows,
+               std::int64_t hidden) {
+  ln_impl(dev, out, x, gamma, beta, rows, hidden);
+}
+void layernorm(par::Device& dev, float* out, const float* x,
+               const float* gamma, const float* beta, std::int64_t rows,
+               std::int64_t hidden) {
+  ln_impl(dev, out, x, gamma, beta, rows, hidden);
+}
+
+}  // namespace bt::kernels

@@ -1,0 +1,114 @@
+#include "kernels/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bt::kernels {
+
+namespace {
+
+constexpr float kMask = -1e4f;  // framework-style additive attention mask
+
+// One padded score row: softmax over [0, max_seq) with additive mask on
+// columns >= len. Register-style: a single pass loads the row once into a
+// local accumulation (two reductions + transform, as in Algorithm III.1).
+template <typename T>
+void softmax_row_full(T* row, int max_seq, int len) {
+  float mx = -INFINITY;
+  for (int j = 0; j < max_seq; ++j) {
+    const float v = load_f32(row[j]) + (j < len ? 0.0f : kMask);
+    mx = std::max(mx, v);
+  }
+  float sum = 0.0f;
+  for (int j = 0; j < max_seq; ++j) {
+    const float v = load_f32(row[j]) + (j < len ? 0.0f : kMask);
+    sum += std::exp(v - mx);
+  }
+  const float inv = 1.0f / sum;
+  for (int j = 0; j < max_seq; ++j) {
+    const float v = load_f32(row[j]) + (j < len ? 0.0f : kMask);
+    store_f32(row[j], std::exp(v - mx) * inv);
+  }
+}
+
+// Zero-padding row: touches only the valid prefix; masked tail is zeroed so
+// the following padded batched GEMM reads exact zeros.
+template <typename T>
+void softmax_row_zeropad(T* row, int max_seq, int len) {
+  float mx = -INFINITY;
+  for (int j = 0; j < len; ++j) mx = std::max(mx, load_f32(row[j]));
+  float sum = 0.0f;
+  for (int j = 0; j < len; ++j) sum += std::exp(load_f32(row[j]) - mx);
+  const float inv = 1.0f / sum;
+  for (int j = 0; j < len; ++j) {
+    store_f32(row[j], std::exp(load_f32(row[j]) - mx) * inv);
+  }
+  for (int j = len; j < max_seq; ++j) store_f32(row[j], 0.0f);
+}
+
+template <typename T>
+void softmax_full_impl(par::Device& dev, T* scores, int batch, int heads,
+                       int max_seq, std::span<const int> seq_lens) {
+  const std::int64_t rows =
+      static_cast<std::int64_t>(batch) * heads * max_seq;
+  dev.parallel_for(0, rows, /*grain=*/8, [&](std::int64_t r) {
+    const int b = static_cast<int>(r / (static_cast<std::int64_t>(heads) * max_seq));
+    const int len = seq_lens[static_cast<std::size_t>(b)];
+    softmax_row_full(scores + r * max_seq, max_seq, len);
+  });
+}
+
+template <typename T>
+void softmax_zeropad_impl(par::Device& dev, T* scores, int batch, int heads,
+                          int max_seq, std::span<const int> seq_lens) {
+  // Enumerate only valid rows: sum_b heads * len_b tasks.
+  std::vector<std::int64_t> row_prefix(static_cast<std::size_t>(batch) + 1, 0);
+  for (int b = 0; b < batch; ++b) {
+    row_prefix[static_cast<std::size_t>(b) + 1] =
+        row_prefix[static_cast<std::size_t>(b)] +
+        static_cast<std::int64_t>(heads) * seq_lens[static_cast<std::size_t>(b)];
+  }
+  const std::int64_t valid_rows = row_prefix[static_cast<std::size_t>(batch)];
+  dev.parallel_for(0, valid_rows, /*grain=*/8, [&](std::int64_t t) {
+    // Binary search the owning batch, then decompose into (head, row).
+    int lo = 0;
+    int hi = batch - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (t < row_prefix[static_cast<std::size_t>(mid) + 1]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    const int b = lo;
+    const int len = seq_lens[static_cast<std::size_t>(b)];
+    const std::int64_t local = t - row_prefix[static_cast<std::size_t>(b)];
+    const std::int64_t h = local / len;
+    const std::int64_t s = local % len;
+    T* row = scores +
+             ((static_cast<std::int64_t>(b) * heads + h) * max_seq + s) * max_seq;
+    softmax_row_zeropad(row, max_seq, len);
+  });
+}
+
+}  // namespace
+
+void softmax_full(par::Device& dev, fp16_t* scores, int batch, int heads,
+                  int max_seq, std::span<const int> seq_lens) {
+  softmax_full_impl(dev, scores, batch, heads, max_seq, seq_lens);
+}
+void softmax_full(par::Device& dev, float* scores, int batch, int heads,
+                  int max_seq, std::span<const int> seq_lens) {
+  softmax_full_impl(dev, scores, batch, heads, max_seq, seq_lens);
+}
+void softmax_zeropad(par::Device& dev, fp16_t* scores, int batch, int heads,
+                     int max_seq, std::span<const int> seq_lens) {
+  softmax_zeropad_impl(dev, scores, batch, heads, max_seq, seq_lens);
+}
+void softmax_zeropad(par::Device& dev, float* scores, int batch, int heads,
+                     int max_seq, std::span<const int> seq_lens) {
+  softmax_zeropad_impl(dev, scores, batch, heads, max_seq, seq_lens);
+}
+
+}  // namespace bt::kernels

@@ -1,0 +1,38 @@
+// Softmax kernels for padded attention scores.
+//
+// Two variants reproduce the paper's Fig. 11/12 ladder:
+//   * softmax_full      — framework-style masked softmax touching every row
+//     and column of the padded [B, heads, S, S] score tensor (work ~ B*S^2).
+//   * softmax_zeropad   — the zero-padding algorithm: only valid rows are
+//     visited and each row only reads its sequence's valid columns
+//     (work ~ sum_b len_b^2), using the prefix-sum offset information.
+// Both operate in place and assume the 1/sqrt(d) scale was already applied
+// by the preceding GEMM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/half.h"
+#include "parallel/device.h"
+
+namespace bt::kernels {
+
+// Masked softmax over all padded rows. Columns >= seq_lens[b] receive an
+// additive -1e4 mask (the standard framework attention-mask trick); rows
+// beyond the valid length are still computed, as a padding-oblivious
+// framework would.
+void softmax_full(par::Device& dev, fp16_t* scores, int batch, int heads,
+                  int max_seq, std::span<const int> seq_lens);
+void softmax_full(par::Device& dev, float* scores, int batch, int heads,
+                  int max_seq, std::span<const int> seq_lens);
+
+// Zero-padding softmax: processes only rows < seq_lens[b] and columns
+// < seq_lens[b]; sets masked columns of valid rows to zero so downstream
+// batched GEMM over the padded tensor stays exact.
+void softmax_zeropad(par::Device& dev, fp16_t* scores, int batch, int heads,
+                     int max_seq, std::span<const int> seq_lens);
+void softmax_zeropad(par::Device& dev, float* scores, int batch, int heads,
+                     int max_seq, std::span<const int> seq_lens);
+
+}  // namespace bt::kernels

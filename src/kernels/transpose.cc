@@ -1,0 +1,193 @@
+#include "kernels/transpose.h"
+
+#include <cstring>
+
+namespace bt::kernels {
+
+namespace {
+
+template <typename T>
+void split_padded_impl(par::Device& dev, const T* qkv, const T* qkv_bias,
+                       T* q, T* k, T* v, int batch, int max_seq, int heads,
+                       int head_size) {
+  const std::int64_t hidden = static_cast<std::int64_t>(heads) * head_size;
+  const std::int64_t tokens = static_cast<std::int64_t>(batch) * max_seq;
+  // q/k/v laid out [batch, heads, max_seq, head_size]; for token (b, s) the
+  // head-h row is ((b*heads + h)*max_seq + s).
+  dev.parallel_for(0, tokens, /*grain=*/8, [&](std::int64_t t) {
+    const std::int64_t b = t / max_seq;
+    const std::int64_t s = t % max_seq;
+    const T* src = qkv + t * 3 * hidden;
+    T* outs[3] = {q, k, v};
+    for (int which = 0; which < 3; ++which) {
+      const T* part = src + which * hidden;
+      const T* bias = qkv_bias + which * hidden;
+      for (int h = 0; h < heads; ++h) {
+        T* dst = outs[which] +
+                 ((b * heads + h) * max_seq + s) * head_size;
+        for (int d = 0; d < head_size; ++d) {
+          store_f32(dst[d], load_f32(part[h * head_size + d]) +
+                                load_f32(bias[h * head_size + d]));
+        }
+      }
+    }
+  });
+}
+
+template <typename T>
+void split_rebuild_impl(par::Device& dev, const T* qkv, const T* qkv_bias,
+                        T* q, T* k, T* v, const core::SeqOffsets& off,
+                        int heads, int head_size) {
+  const std::int64_t hidden = static_cast<std::int64_t>(heads) * head_size;
+  const std::int64_t max_seq = off.max_seq;
+  // Zero-fill the padded outputs first (rebuild padding), then scatter valid
+  // tokens. Zeroing is fused here rather than a separate pipeline step.
+  T* outs[3] = {q, k, v};
+  for (int which = 0; which < 3; ++which) {
+    T* dst = outs[which];
+    dev.parallel_for(0, off.batch * static_cast<std::int64_t>(heads),
+                     /*grain=*/1, [&](std::int64_t row) {
+                       std::memset(dst + row * max_seq * head_size, 0,
+                                   sizeof(T) * static_cast<std::size_t>(
+                                                   max_seq * head_size));
+                     });
+  }
+  dev.parallel_for(0, off.valid_count, /*grain=*/8, [&](std::int64_t t) {
+    const std::int64_t padded = off.packed_to_padded[static_cast<std::size_t>(t)];
+    const std::int64_t b = padded / max_seq;
+    const std::int64_t s = padded % max_seq;
+    const T* src = qkv + t * 3 * hidden;
+    for (int which = 0; which < 3; ++which) {
+      const T* part = src + which * hidden;
+      const T* bias = qkv_bias + which * hidden;
+      for (int h = 0; h < heads; ++h) {
+        T* dst = outs[which] + ((b * heads + h) * max_seq + s) * head_size;
+        for (int d = 0; d < head_size; ++d) {
+          store_f32(dst[d], load_f32(part[h * head_size + d]) +
+                                load_f32(bias[h * head_size + d]));
+        }
+      }
+    }
+  });
+}
+
+template <typename T>
+void split_packed_impl(par::Device& dev, const T* qkv, const T* qkv_bias,
+                       T* q, T* k, T* v, std::int64_t valid, int heads,
+                       int head_size) {
+  const std::int64_t hidden = static_cast<std::int64_t>(heads) * head_size;
+  T* outs[3] = {q, k, v};
+  dev.parallel_for(0, valid, /*grain=*/8, [&](std::int64_t t) {
+    const T* src = qkv + t * 3 * hidden;
+    for (int which = 0; which < 3; ++which) {
+      const T* part = src + which * hidden;
+      const T* bias = qkv_bias + which * hidden;
+      T* dst = outs[which] + t * hidden;
+      for (std::int64_t j = 0; j < hidden; ++j) {
+        store_f32(dst[j], load_f32(part[j]) + load_f32(bias[j]));
+      }
+    }
+  });
+}
+
+template <typename T>
+void merge_padded_impl(par::Device& dev, const T* ctx, T* out, int batch,
+                       int max_seq, int heads, int head_size) {
+  const std::int64_t hidden = static_cast<std::int64_t>(heads) * head_size;
+  const std::int64_t tokens = static_cast<std::int64_t>(batch) * max_seq;
+  dev.parallel_for(0, tokens, /*grain=*/8, [&](std::int64_t t) {
+    const std::int64_t b = t / max_seq;
+    const std::int64_t s = t % max_seq;
+    T* dst = out + t * hidden;
+    for (int h = 0; h < heads; ++h) {
+      const T* src = ctx + ((b * heads + h) * max_seq + s) * head_size;
+      std::memcpy(dst + static_cast<std::int64_t>(h) * head_size, src,
+                  sizeof(T) * static_cast<std::size_t>(head_size));
+    }
+  });
+}
+
+template <typename T>
+void merge_remove_impl(par::Device& dev, const T* ctx, T* out,
+                       const core::SeqOffsets& off, int heads, int head_size) {
+  const std::int64_t hidden = static_cast<std::int64_t>(heads) * head_size;
+  const std::int64_t max_seq = off.max_seq;
+  dev.parallel_for(0, off.valid_count, /*grain=*/8, [&](std::int64_t t) {
+    const std::int64_t padded = off.packed_to_padded[static_cast<std::size_t>(t)];
+    const std::int64_t b = padded / max_seq;
+    const std::int64_t s = padded % max_seq;
+    T* dst = out + t * hidden;
+    for (int h = 0; h < heads; ++h) {
+      const T* src = ctx + ((b * heads + h) * max_seq + s) * head_size;
+      std::memcpy(dst + static_cast<std::int64_t>(h) * head_size, src,
+                  sizeof(T) * static_cast<std::size_t>(head_size));
+    }
+  });
+}
+
+}  // namespace
+
+void split_qkv_add_bias_padded(par::Device& dev, const fp16_t* qkv,
+                               const fp16_t* qkv_bias, fp16_t* q, fp16_t* k,
+                               fp16_t* v, int batch, int max_seq, int heads,
+                               int head_size) {
+  split_padded_impl(dev, qkv, qkv_bias, q, k, v, batch, max_seq, heads,
+                    head_size);
+}
+void split_qkv_add_bias_padded(par::Device& dev, const float* qkv,
+                               const float* qkv_bias, float* q, float* k,
+                               float* v, int batch, int max_seq, int heads,
+                               int head_size) {
+  split_padded_impl(dev, qkv, qkv_bias, q, k, v, batch, max_seq, heads,
+                    head_size);
+}
+
+void split_qkv_add_bias_rebuild_padding(par::Device& dev, const fp16_t* qkv,
+                                        const fp16_t* qkv_bias, fp16_t* q,
+                                        fp16_t* k, fp16_t* v,
+                                        const core::SeqOffsets& off, int heads,
+                                        int head_size) {
+  split_rebuild_impl(dev, qkv, qkv_bias, q, k, v, off, heads, head_size);
+}
+void split_qkv_add_bias_rebuild_padding(par::Device& dev, const float* qkv,
+                                        const float* qkv_bias, float* q,
+                                        float* k, float* v,
+                                        const core::SeqOffsets& off, int heads,
+                                        int head_size) {
+  split_rebuild_impl(dev, qkv, qkv_bias, q, k, v, off, heads, head_size);
+}
+
+void split_qkv_add_bias_packed(par::Device& dev, const fp16_t* qkv,
+                               const fp16_t* qkv_bias, fp16_t* q, fp16_t* k,
+                               fp16_t* v, std::int64_t valid, int heads,
+                               int head_size) {
+  split_packed_impl(dev, qkv, qkv_bias, q, k, v, valid, heads, head_size);
+}
+void split_qkv_add_bias_packed(par::Device& dev, const float* qkv,
+                               const float* qkv_bias, float* q, float* k,
+                               float* v, std::int64_t valid, int heads,
+                               int head_size) {
+  split_packed_impl(dev, qkv, qkv_bias, q, k, v, valid, heads, head_size);
+}
+
+void merge_heads_padded(par::Device& dev, const fp16_t* ctx, fp16_t* out,
+                        int batch, int max_seq, int heads, int head_size) {
+  merge_padded_impl(dev, ctx, out, batch, max_seq, heads, head_size);
+}
+void merge_heads_padded(par::Device& dev, const float* ctx, float* out,
+                        int batch, int max_seq, int heads, int head_size) {
+  merge_padded_impl(dev, ctx, out, batch, max_seq, heads, head_size);
+}
+
+void merge_heads_remove_padding(par::Device& dev, const fp16_t* ctx,
+                                fp16_t* out, const core::SeqOffsets& off,
+                                int heads, int head_size) {
+  merge_remove_impl(dev, ctx, out, off, heads, head_size);
+}
+void merge_heads_remove_padding(par::Device& dev, const float* ctx,
+                                float* out, const core::SeqOffsets& off,
+                                int heads, int head_size) {
+  merge_remove_impl(dev, ctx, out, off, heads, head_size);
+}
+
+}  // namespace bt::kernels

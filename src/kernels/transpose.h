@@ -1,0 +1,72 @@
+// Head split/merge ("transpose") kernels, with bias-add and pad/unpad fused.
+//
+// Batched-GEMM attention needs per-head contiguous layouts [B, heads, S, hd];
+// the rest of the pipeline works on token-major rows. The paper fuses the
+// unavoidable layout changes with the add-bias and with the zero-padding
+// rebuild/remove steps so the padding-free algorithm costs no extra memory
+// passes (Fig. 2c: "fused rebuild padding & add bias", "fused zero padding &
+// transpose").
+#pragma once
+
+#include <cstdint>
+
+#include "common/half.h"
+#include "core/padding.h"
+#include "parallel/device.h"
+
+namespace bt::kernels {
+
+// Padded input rows -> per-head padded Q/K/V, adding per-channel biases.
+//   qkv:  [batch*max_seq, 3*hidden]   (concatenated Q|K|V projections)
+//   q/k/v out: [batch, heads, max_seq, head_size]
+void split_qkv_add_bias_padded(par::Device& dev, const fp16_t* qkv,
+                               const fp16_t* qkv_bias, fp16_t* q, fp16_t* k,
+                               fp16_t* v, int batch, int max_seq, int heads,
+                               int head_size);
+void split_qkv_add_bias_padded(par::Device& dev, const float* qkv,
+                               const float* qkv_bias, float* q, float* k,
+                               float* v, int batch, int max_seq, int heads,
+                               int head_size);
+
+// Packed input rows -> per-head padded Q/K/V ("fused rebuild padding & add
+// bias"): valid tokens are scattered via the offset map, padding zero-filled.
+//   qkv: [valid, 3*hidden]
+void split_qkv_add_bias_rebuild_padding(par::Device& dev, const fp16_t* qkv,
+                                        const fp16_t* qkv_bias, fp16_t* q,
+                                        fp16_t* k, fp16_t* v,
+                                        const core::SeqOffsets& off, int heads,
+                                        int head_size);
+void split_qkv_add_bias_rebuild_padding(par::Device& dev, const float* qkv,
+                                        const float* qkv_bias, float* q,
+                                        float* k, float* v,
+                                        const core::SeqOffsets& off, int heads,
+                                        int head_size);
+
+// Packed QKV rows -> packed Q/K/V rows with bias added (no padding rebuild;
+// feeds the fused MHA paths that consume packed tensors directly).
+//   qkv: [valid, 3*hidden] -> q/k/v: [valid, hidden]
+void split_qkv_add_bias_packed(par::Device& dev, const fp16_t* qkv,
+                               const fp16_t* qkv_bias, fp16_t* q, fp16_t* k,
+                               fp16_t* v, std::int64_t valid, int heads,
+                               int head_size);
+void split_qkv_add_bias_packed(par::Device& dev, const float* qkv,
+                               const float* qkv_bias, float* q, float* k,
+                               float* v, std::int64_t valid, int heads,
+                               int head_size);
+
+// Per-head padded context -> padded token rows [batch*max_seq, hidden].
+void merge_heads_padded(par::Device& dev, const fp16_t* ctx, fp16_t* out,
+                        int batch, int max_seq, int heads, int head_size);
+void merge_heads_padded(par::Device& dev, const float* ctx, float* out,
+                        int batch, int max_seq, int heads, int head_size);
+
+// Per-head padded context -> packed token rows ("fused zero padding &
+// transpose"): only valid tokens are gathered.
+void merge_heads_remove_padding(par::Device& dev, const fp16_t* ctx,
+                                fp16_t* out, const core::SeqOffsets& off,
+                                int heads, int head_size);
+void merge_heads_remove_padding(par::Device& dev, const float* ctx,
+                                float* out, const core::SeqOffsets& off,
+                                int heads, int head_size);
+
+}  // namespace bt::kernels

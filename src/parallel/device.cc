@@ -1,0 +1,44 @@
+#include "parallel/device.h"
+
+#include <memory>
+
+namespace bt::par {
+
+Device::Device(int threads, std::size_t scratch_bytes)
+    : scratch_bytes_(scratch_bytes) {
+  if (threads <= 0) {
+    pool_ = &global_pool();
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+  scratch_.reserve(static_cast<std::size_t>(pool_->size()));
+  for (int i = 0; i < pool_->size(); ++i) {
+    scratch_.emplace_back(scratch_bytes);
+  }
+}
+
+Device::~Device() = default;
+
+void Device::launch(Dim3 grid, const std::function<void(CtaContext&)>& kernel) {
+  const std::int64_t blocks = grid.count();
+  if (blocks <= 0) return;
+  const auto body = [&](std::int64_t block, int worker) {
+    CtaContext ctx;
+    ctx.block_x = static_cast<int>(block % grid.x);
+    ctx.block_y = static_cast<int>((block / grid.x) % grid.y);
+    ctx.block_z = static_cast<int>(block / (static_cast<std::int64_t>(grid.x) * grid.y));
+    ctx.worker = worker;
+    ctx.scratch = &scratch_[static_cast<std::size_t>(worker)];
+    ctx.scratch->reset();
+    kernel(ctx);
+  };
+  pool_->run(blocks, /*chunk=*/1, body);
+}
+
+Device& default_device() {
+  static Device device;
+  return device;
+}
+
+}  // namespace bt::par

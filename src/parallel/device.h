@@ -1,0 +1,106 @@
+// Virtual "device": the CPU analogue of a CUDA grid launch.
+//
+// Kernels are written against a CTA (cooperative thread array) abstraction:
+// a 3-D grid of blocks, each with a private scratch arena standing in for
+// GPU shared memory. Blocks are scheduled dynamically onto pool workers —
+// the same decomposition the CUDA kernels in the paper use, so algorithmic
+// choices that depend on grid shape and shared-memory capacity (e.g. the
+// short-sequence fused MHA holding its logits tile on-chip) carry over
+// unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace bt::par {
+
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+  std::int64_t count() const noexcept {
+    return static_cast<std::int64_t>(x) * y * z;
+  }
+};
+
+// Per-CTA scratch arena: bump allocator reset at CTA start. Models
+// __shared__ memory; capacity defaults to the A100's 164 KiB per SM so that
+// capacity-driven algorithm switches (short vs long MHA) mirror the paper.
+class CtaScratch {
+ public:
+  static constexpr std::size_t kDefaultBytes = 164 * 1024;
+
+  explicit CtaScratch(std::size_t bytes = kDefaultBytes) : buf_(bytes) {}
+
+  void reset() noexcept { used_ = 0; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t used() const noexcept { return used_; }
+
+  // Aligned typed allocation; returns empty span when capacity is exceeded
+  // (callers assert or fall back, as CUDA kernels do at compile time).
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    const std::size_t align = alignof(T) > 16 ? alignof(T) : 16;
+    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t bytes = n * sizeof(T);
+    if (offset + bytes > buf_.size()) return {};
+    used_ = offset + bytes;
+    return {reinterpret_cast<T*>(buf_.data() + offset), n};
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t used_ = 0;
+};
+
+// Context handed to each block: its grid coordinates and scratch arena.
+struct CtaContext {
+  int block_x = 0;
+  int block_y = 0;
+  int block_z = 0;
+  int worker = 0;
+  CtaScratch* scratch = nullptr;
+};
+
+class Device {
+ public:
+  // threads == 0: use the process-global pool. Otherwise a private pool,
+  // which tests use to pin worker counts deterministically.
+  explicit Device(int threads = 0, std::size_t scratch_bytes = CtaScratch::kDefaultBytes);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int workers() const noexcept { return pool_->size(); }
+  std::size_t scratch_bytes() const noexcept { return scratch_bytes_; }
+
+  // Launches `kernel(ctx)` over every block of `grid`, in dynamic order.
+  void launch(Dim3 grid, const std::function<void(CtaContext&)>& kernel);
+
+  // Flat parallel loop helper for elementwise kernels (grain = iterations
+  // per claim; keeps scheduler traffic low on memory-bound loops).
+  template <typename F>
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    F&& f) {
+    pool_->parallel_for(begin, end, grain, std::forward<F>(f));
+  }
+
+  ThreadPool& pool() noexcept { return *pool_; }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::vector<CtaScratch> scratch_;  // one arena per worker
+  std::size_t scratch_bytes_ = CtaScratch::kDefaultBytes;
+};
+
+// Process-wide default device (global pool, default scratch size).
+Device& default_device();
+
+}  // namespace bt::par

@@ -1,0 +1,97 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bt::par {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  num_workers_ = threads;
+  // The calling thread acts as worker 0; spawn the rest. Worker indices
+  // 1..threads-1 map to spawned threads.
+  threads_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::work_on_job(Job& job, int worker_index) {
+  const std::int64_t chunk = std::max<std::int64_t>(1, job.chunk);
+  const std::int64_t n = job.num_tasks;
+  for (;;) {
+    const std::int64_t begin = job.next.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= n) break;
+    const std::int64_t end = std::min(begin + chunk, n);
+    for (std::int64_t i = begin; i < end; ++i) {
+      (*job.fn)(i, worker_index);
+    }
+    if (job.done.fetch_add(end - begin, std::memory_order_acq_rel) + (end - begin) >= n) {
+      // Last chunk: wake the submitter. Lock/unlock pairs with the
+      // submitter's predicate check so the notify cannot be lost.
+      { std::lock_guard lock(mutex_); }
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = current_;
+    }
+    if (job) work_on_job(*job, worker_index);
+  }
+}
+
+void ThreadPool::run(std::int64_t num_tasks, std::int64_t chunk,
+                     const std::function<void(std::int64_t, int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (num_workers_ == 1 || num_tasks == 1) {
+    for (std::int64_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->num_tasks = num_tasks;
+  job->chunk = chunk;
+  job->fn = &fn;
+  {
+    std::lock_guard lock(mutex_);
+    current_ = job;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  work_on_job(*job, /*worker_index=*/0);
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) >= num_tasks;
+  });
+  // Tasks all returned; stragglers may still hold the shared_ptr but can
+  // only observe an exhausted counter.
+  current_.reset();
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace bt::par

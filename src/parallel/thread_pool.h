@@ -1,0 +1,77 @@
+// Persistent worker pool with dynamic chunked scheduling.
+//
+// This is the execution engine under bt::par::Device. Work items are claimed
+// from a shared atomic counter — the same structure as CUTLASS's grouped-GEMM
+// problem visitor, whose per-claim overhead ByteTransformer's warp-prefetch
+// optimization amortizes (see gemm/tile_visitor.h and the scheduler ablation
+// bench).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bt::par {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Number of workers that execute tasks (includes the calling thread).
+  int size() const noexcept { return num_workers_; }
+
+  // Runs fn(task_index, worker_index) for every task in [0, num_tasks).
+  // Tasks are claimed dynamically in chunks of `chunk`. Blocks until all
+  // tasks complete. Must not be called re-entrantly from inside a task.
+  void run(std::int64_t num_tasks, std::int64_t chunk,
+           const std::function<void(std::int64_t, int)>& fn);
+
+  // Convenience: parallel loop over [begin, end) with grain-size chunking.
+  template <typename F>
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    F&& f) {
+    const std::int64_t n = end - begin;
+    if (n <= 0) return;
+    run(n, grain, [&](std::int64_t i, int) { f(begin + i); });
+  }
+
+ private:
+  // Each run() owns one Job; workers hold shared_ptr snapshots, so a
+  // straggler waking after the job finished only sees an exhausted counter
+  // and never races with the next job's state.
+  struct Job {
+    std::int64_t num_tasks = 0;
+    std::int64_t chunk = 1;
+    const std::function<void(std::int64_t, int)>* fn = nullptr;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+  };
+
+  void worker_loop(int worker_index);
+  void work_on_job(Job& job, int worker_index);
+
+  std::vector<std::thread> threads_;
+  int num_workers_ = 1;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> current_;  // guarded by mutex_
+  std::uint64_t epoch_ = 0;       // guarded by mutex_
+  bool shutdown_ = false;
+};
+
+// Process-wide pool shared by the default Device.
+ThreadPool& global_pool();
+
+}  // namespace bt::par

@@ -1,0 +1,31 @@
+// Batching policies for variable-length serving.
+//
+// * PadToMax   — the conventional framework strategy: one batch, every
+//   sequence padded to the global maximum.
+// * SortGroup  — TurboTransformer's SmartBatch proxy: sort requests by
+//   length, chunk into groups, pad each group to *its own* maximum. Reduces
+//   but never eliminates padding, and multiplies kernel launches per step
+//   (the behaviour the paper observes at large batch/seq).
+// * Packed     — ByteTransformer: a single packed batch, no padding at all.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bt::serving {
+
+struct Group {
+  std::vector<int> indices;  // request indices, sorted by descending length
+  int max_len = 0;           // pad target for this group
+};
+
+// Partition `lengths` into groups of at most `group_size` requests with
+// similar lengths. group_size <= 0 means one group (pad-to-max).
+std::vector<Group> group_by_length(std::span<const int> lengths,
+                                   int group_size);
+
+// Total padded tokens a policy processes (the waste metric).
+long long padded_tokens(std::span<const Group> groups,
+                        std::span<const int> lengths);
+
+}  // namespace bt::serving

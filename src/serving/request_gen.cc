@@ -1,0 +1,38 @@
+#include "serving/request_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bt::serving {
+
+std::vector<int> gen_lengths(int batch, int max_seq, double alpha, Rng& rng) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+  int lo = 1;
+  int hi = max_seq;
+  if (alpha <= 0.5) {
+    hi = std::max(1, static_cast<int>(std::lround(2.0 * alpha * max_seq)));
+  } else {
+    lo = std::min(max_seq,
+                  std::max(1, static_cast<int>(std::lround(
+                                  (2.0 * alpha - 1.0) * max_seq))));
+  }
+  std::vector<int> lens(static_cast<std::size_t>(batch));
+  for (int& l : lens) l = rng.uniform_int(lo, hi);
+  return lens;
+}
+
+std::vector<double> gen_arrivals(int count, double requests_per_second,
+                                 Rng& rng) {
+  std::vector<double> t(static_cast<std::size_t>(count));
+  double now = 0.0;
+  for (double& x : t) {
+    // Exponential inter-arrival times.
+    const double u = std::max(1e-12, static_cast<double>(rng.uniform(0.0f, 1.0f)));
+    now += -std::log(u) / requests_per_second;
+    x = now;
+  }
+  return t;
+}
+
+}  // namespace bt::serving

@@ -1,0 +1,23 @@
+// Variable-length request generation for benches and the serving example.
+//
+// The paper draws sequence lengths "randomly based on a uniform distribution
+// with a range from 1 to the maximum length" and sweeps the
+// average-to-maximum ratio (alpha) from 0.1 to 1.0 with a default of 0.6.
+// gen_lengths produces a uniform integer distribution whose mean is
+// alpha * max_seq: U[1, 2*alpha*max] for alpha <= 0.5 and
+// U[(2*alpha-1)*max, max] for alpha > 0.5.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bt::serving {
+
+std::vector<int> gen_lengths(int batch, int max_seq, double alpha, Rng& rng);
+
+// Poisson-process arrival offsets (seconds) for the online-serving example.
+std::vector<double> gen_arrivals(int count, double requests_per_second,
+                                 Rng& rng);
+
+}  // namespace bt::serving

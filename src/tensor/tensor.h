@@ -1,0 +1,153 @@
+// Minimal owning dense tensor: contiguous, row-major, cache-line aligned.
+//
+// Transformer pipelines in this repo pass raw pointers + leading dimensions
+// into kernels (exactly like the CUDA code they mirror); Tensor is the owner
+// that sits at API boundaries and in tests/benches.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <initializer_list>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/half.h"
+#include "common/numeric.h"
+#include "common/rng.h"
+
+namespace bt {
+
+namespace detail {
+struct AlignedFree {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+}  // namespace detail
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+    size_ = 1;
+    for (std::int64_t d : shape_) {
+      assert(d >= 0);
+      size_ *= d;
+    }
+    if (size_ > 0) {
+      const std::size_t bytes =
+          round_up(static_cast<std::int64_t>(size_ * sizeof(T)), kCacheLine);
+      data_.reset(static_cast<T*>(std::aligned_alloc(kCacheLine, bytes)));
+      assert(data_ != nullptr);
+    }
+  }
+
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  static Tensor zeros(std::vector<std::int64_t> shape) {
+    Tensor t(std::move(shape));
+    t.fill(T{});
+    return t;
+  }
+
+  static Tensor random_normal(std::vector<std::int64_t> shape, Rng& rng,
+                              float stddev = 1.0f) {
+    Tensor t(std::move(shape));
+    rng.fill_normal(t.view(), 0.0f, stddev);
+    return t;
+  }
+
+  Tensor clone() const {
+    Tensor t(shape_);
+    std::copy(data(), data() + size_, t.data());
+    return t;
+  }
+
+  // Converting copy (e.g. fp32 reference -> fp16 storage).
+  template <typename U>
+  Tensor<U> cast() const {
+    Tensor<U> t(shape_);
+    for (std::int64_t i = 0; i < size_; ++i) {
+      store_f32(t.data()[i], load_f32(data()[i]));
+    }
+    return t;
+  }
+
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+
+  std::span<T> view() noexcept { return {data_.get(), static_cast<std::size_t>(size_)}; }
+  std::span<const T> view() const noexcept {
+    return {data_.get(), static_cast<std::size_t>(size_)};
+  }
+
+  std::int64_t size() const noexcept { return size_; }
+  int rank() const noexcept { return static_cast<int>(shape_.size()); }
+  std::int64_t dim(int i) const {
+    assert(i >= 0 && i < rank());
+    return shape_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<std::int64_t>& shape() const noexcept { return shape_; }
+
+  void fill(T v) { std::fill(data(), data() + size_, v); }
+
+  // Row-major multi-index accessors for tests and examples.
+  T& operator()(std::int64_t i) { return data()[i]; }
+  const T& operator()(std::int64_t i) const { return data()[i]; }
+  T& operator()(std::int64_t i, std::int64_t j) {
+    return data()[i * shape_[1] + j];
+  }
+  const T& operator()(std::int64_t i, std::int64_t j) const {
+    return data()[i * shape_[1] + j];
+  }
+  T& operator()(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  const T& operator()(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  T& operator()(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) {
+    return data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+  const T& operator()(std::int64_t i, std::int64_t j, std::int64_t k,
+                      std::int64_t l) const {
+    return data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+
+  // Reinterpret the same buffer with a new shape of equal element count.
+  void reshape(std::vector<std::int64_t> shape) {
+    const std::int64_t n = std::accumulate(shape.begin(), shape.end(),
+                                           std::int64_t{1}, std::multiplies<>());
+    assert(n == size_);
+    (void)n;
+    shape_ = std::move(shape);
+  }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::unique_ptr<T[], detail::AlignedFree> data_;
+  std::int64_t size_ = 0;
+};
+
+// Largest absolute elementwise difference (widened to double), used by tests.
+template <typename A, typename B>
+double max_abs_diff(const Tensor<A>& a, const Tensor<B>& b) {
+  assert(a.size() == b.size());
+  double m = 0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(load_f32(a.data()[i])) -
+                             static_cast<double>(load_f32(b.data()[i]))));
+  }
+  return m;
+}
+
+}  // namespace bt

@@ -1,0 +1,87 @@
+// Add-bias / add-bias+GELU elementwise kernels.
+#include <gtest/gtest.h>
+
+#include "common/numeric.h"
+#include "common/rng.h"
+#include "kernels/activation.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+
+namespace bt::kernels {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+TEST(AddBias, AddsPerColumn) {
+  const int rows = 9;
+  const int cols = 33;
+  Rng rng(91);
+  auto x = Tensor<fp16_t>::random_normal({rows, cols}, rng);
+  auto bias = Tensor<fp16_t>::random_normal({cols}, rng);
+  auto orig = x.clone();
+  add_bias(dev(), x.data(), bias.data(), rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      EXPECT_NEAR(load_f32(x(i, j)),
+                  load_f32(orig(i, j)) + load_f32(bias(j)), 2e-3);
+    }
+  }
+}
+
+TEST(AddBiasGelu, MatchesScalarReference) {
+  const int rows = 13;
+  const int cols = 65;
+  Rng rng(92);
+  auto x = Tensor<fp16_t>::random_normal({rows, cols}, rng, 2.0f);
+  auto bias = Tensor<fp16_t>::random_normal({cols}, rng);
+  auto orig = x.clone();
+  add_bias_gelu(dev(), x.data(), bias.data(), rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const float want =
+          gelu_tanh(load_f32(orig(i, j)) + load_f32(bias(j)));
+      EXPECT_NEAR(load_f32(x(i, j)), want, 5e-3);
+    }
+  }
+}
+
+TEST(AddBiasGelu, Fp32Variant) {
+  const int rows = 7;
+  const int cols = 129;
+  Rng rng(93);
+  auto x = Tensor<float>::random_normal({rows, cols}, rng);
+  auto bias = Tensor<float>::random_normal({cols}, rng);
+  auto orig = x.clone();
+  add_bias_gelu(dev(), x.data(), bias.data(), rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      EXPECT_FLOAT_EQ(x(i, j), gelu_tanh(orig(i, j) + bias(j)));
+    }
+  }
+}
+
+TEST(AddBiasGelu, NegativeSaturationToZero) {
+  const int cols = 8;
+  auto x = Tensor<fp16_t>({1, cols});
+  x.fill(fp16_t(-20.0f));
+  auto bias = Tensor<fp16_t>::zeros({cols});
+  add_bias_gelu(dev(), x.data(), bias.data(), 1, cols);
+  for (int j = 0; j < cols; ++j) {
+    EXPECT_NEAR(load_f32(x(0, j)), 0.0f, 1e-4);
+  }
+}
+
+TEST(AddBias, SingleRowSingleCol) {
+  auto x = Tensor<fp16_t>({1, 1});
+  x(0, 0) = fp16_t(1.5f);
+  auto bias = Tensor<fp16_t>({1});
+  bias(0) = fp16_t(0.25f);
+  add_bias(dev(), x.data(), bias.data(), 1, 1);
+  EXPECT_FLOAT_EQ(load_f32(x(0, 0)), 1.75f);
+}
+
+}  // namespace
+}  // namespace bt::kernels

@@ -1,0 +1,275 @@
+// Every MHA variant against the FP64 reference, across batch/heads/length
+// distributions. Each variant is an independent implementation, so agreement
+// here is strong evidence of correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "attention/attention.h"
+#include "common/rng.h"
+#include "kernels/transpose.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+#include "test_utils.h"
+
+namespace bt::attn {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+struct Case {
+  int heads;
+  int head_size;
+  int max_seq;
+  std::vector<int> lens;
+};
+
+struct Fixture {
+  core::SeqOffsets off;
+  Tensor<fp16_t> qkv;       // packed [valid, 3H]
+  Tensor<fp16_t> qkv_bias;  // [3H]
+  Tensor<fp16_t> q, k, v;   // padded per-head, bias applied
+  std::vector<double> ctx_ref;  // padded per-head reference output
+  int hidden = 0;
+
+  explicit Fixture(const Case& c, std::uint64_t seed = 1234) {
+    Rng rng(seed);
+    hidden = c.heads * c.head_size;
+    off = core::build_seq_offsets(dev(), c.lens, c.max_seq);
+    qkv = Tensor<fp16_t>::random_normal({off.valid_count, 3 * hidden}, rng);
+    qkv_bias = Tensor<fp16_t>::random_normal({3 * hidden}, rng, 0.2f);
+
+    const int batch = off.batch;
+    const std::int64_t per_head =
+        static_cast<std::int64_t>(batch) * c.heads * c.max_seq * c.head_size;
+    q = Tensor<fp16_t>::zeros({per_head});
+    k = Tensor<fp16_t>::zeros({per_head});
+    v = Tensor<fp16_t>::zeros({per_head});
+    kernels::split_qkv_add_bias_rebuild_padding(dev(), qkv.data(),
+                                                qkv_bias.data(), q.data(),
+                                                k.data(), v.data(), off,
+                                                c.heads, c.head_size);
+    ctx_ref.assign(static_cast<std::size_t>(per_head), 0.0);
+    const auto qd = test::to_f64(q);
+    const auto kd = test::to_f64(k);
+    const auto vd = test::to_f64(v);
+    mha_reference(qd.data(), kd.data(), vd.data(), ctx_ref.data(), batch,
+                  c.heads, c.max_seq, c.head_size, off.seq_lens);
+  }
+
+  // Max abs diff between a padded per-head fp16 context and the reference,
+  // valid positions only.
+  double diff_padded(const Tensor<fp16_t>& ctx, const Case& c) const {
+    double worst = 0;
+    for (int b = 0; b < off.batch; ++b) {
+      const int len = off.seq_lens[static_cast<std::size_t>(b)];
+      for (int h = 0; h < c.heads; ++h) {
+        for (int s = 0; s < len; ++s) {
+          for (int d = 0; d < c.head_size; ++d) {
+            const std::int64_t idx =
+                ((static_cast<std::int64_t>(b) * c.heads + h) * c.max_seq + s) *
+                    c.head_size +
+                d;
+            worst = std::max(worst,
+                             std::abs(static_cast<double>(load_f32(
+                                          ctx.data()[idx])) -
+                                      ctx_ref[static_cast<std::size_t>(idx)]));
+          }
+        }
+      }
+    }
+    return worst;
+  }
+
+  // Max abs diff between a packed fp16 context [valid, H] and the reference.
+  double diff_packed(const Tensor<fp16_t>& ctx, const Case& c) const {
+    double worst = 0;
+    for (std::int64_t t = 0; t < off.valid_count; ++t) {
+      const std::int64_t padded = off.packed_to_padded[static_cast<std::size_t>(t)];
+      const std::int64_t b = padded / off.max_seq;
+      const std::int64_t s = padded % off.max_seq;
+      for (int h = 0; h < c.heads; ++h) {
+        for (int d = 0; d < c.head_size; ++d) {
+          const std::int64_t ref_idx =
+              ((b * c.heads + h) * off.max_seq + s) * c.head_size + d;
+          const float got = load_f32(ctx.data()[t * hidden + h * c.head_size + d]);
+          worst = std::max(worst, std::abs(static_cast<double>(got) -
+                                           ctx_ref[static_cast<std::size_t>(ref_idx)]));
+        }
+      }
+    }
+    return worst;
+  }
+};
+
+constexpr double kTol = 4e-2;  // FP16 storage + fp32 accumulation headroom
+
+class AttentionVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AttentionVariants, PyTorchLike) {
+  const Case c = GetParam();
+  Fixture f(c);
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({static_cast<std::int64_t>(f.off.batch) *
+                                    c.heads * c.max_seq * c.head_size});
+  PaddedMhaArgs args{f.q.data(), f.k.data(), f.v.data(), ctx.data(),
+                     f.off.batch, c.heads,   c.max_seq,  c.head_size,
+                     f.off.seq_lens};
+  mha_pytorch_like(dev(), args, ws);
+  EXPECT_LT(f.diff_padded(ctx, c), kTol);
+}
+
+TEST_P(AttentionVariants, Batched) {
+  const Case c = GetParam();
+  Fixture f(c);
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({static_cast<std::int64_t>(f.off.batch) *
+                                    c.heads * c.max_seq * c.head_size});
+  PaddedMhaArgs args{f.q.data(), f.k.data(), f.v.data(), ctx.data(),
+                     f.off.batch, c.heads,   c.max_seq,  c.head_size,
+                     f.off.seq_lens};
+  mha_batched(dev(), args, ws);
+  EXPECT_LT(f.diff_padded(ctx, c), kTol);
+}
+
+TEST_P(AttentionVariants, BatchedZeroPad) {
+  const Case c = GetParam();
+  Fixture f(c);
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({static_cast<std::int64_t>(f.off.batch) *
+                                    c.heads * c.max_seq * c.head_size});
+  PaddedMhaArgs args{f.q.data(), f.k.data(), f.v.data(), ctx.data(),
+                     f.off.batch, c.heads,   c.max_seq,  c.head_size,
+                     f.off.seq_lens};
+  mha_batched_zeropad(dev(), args, ws);
+  EXPECT_LT(f.diff_padded(ctx, c), kTol);
+}
+
+TEST_P(AttentionVariants, FusedShort) {
+  const Case c = GetParam();
+  Fixture f(c);
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({f.off.valid_count, f.hidden});
+  PackedMhaArgs args{f.qkv.data(), f.qkv_bias.data(), ctx.data(), &f.off,
+                     c.heads,      c.head_size};
+  mha_fused_short(dev(), args, ws);
+  EXPECT_LT(f.diff_packed(ctx, c), kTol);
+}
+
+TEST_P(AttentionVariants, FusedLong) {
+  const Case c = GetParam();
+  Fixture f(c);
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({f.off.valid_count, f.hidden});
+  PackedMhaArgs args{f.qkv.data(), f.qkv_bias.data(), ctx.data(), &f.off,
+                     c.heads,      c.head_size};
+  mha_fused_long(dev(), args, ws);
+  EXPECT_LT(f.diff_packed(ctx, c), kTol);
+}
+
+TEST_P(AttentionVariants, FlashLike) {
+  const Case c = GetParam();
+  Fixture f(c);
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({f.off.valid_count, f.hidden});
+  PackedMhaArgs args{f.qkv.data(), f.qkv_bias.data(), ctx.data(), &f.off,
+                     c.heads,      c.head_size};
+  mha_flash_like(dev(), args, ws);
+  EXPECT_LT(f.diff_packed(ctx, c), kTol);
+}
+
+TEST_P(AttentionVariants, EtLikeF32) {
+  const Case c = GetParam();
+  Fixture f(c);
+  core::Workspace ws;
+  const std::int64_t per_head = static_cast<std::int64_t>(f.off.batch) *
+                                c.heads * c.max_seq * c.head_size;
+  // FP32 copies of the padded per-head operands.
+  Tensor<float> qf({per_head});
+  Tensor<float> kf({per_head});
+  Tensor<float> vf({per_head});
+  Tensor<float> ctx = Tensor<float>::zeros({per_head});
+  for (std::int64_t i = 0; i < per_head; ++i) {
+    qf.data()[i] = load_f32(f.q.data()[i]);
+    kf.data()[i] = load_f32(f.k.data()[i]);
+    vf.data()[i] = load_f32(f.v.data()[i]);
+  }
+  PaddedMhaArgsF32 args{qf.data(), kf.data(), vf.data(), ctx.data(),
+                        f.off.batch, c.heads, c.max_seq, c.head_size,
+                        f.off.seq_lens};
+  mha_et_like(dev(), args, ws);
+  double worst = 0;
+  for (int b = 0; b < f.off.batch; ++b) {
+    const int len = f.off.seq_lens[static_cast<std::size_t>(b)];
+    for (int h = 0; h < c.heads; ++h) {
+      for (int s = 0; s < len; ++s) {
+        for (int d = 0; d < c.head_size; ++d) {
+          const std::int64_t idx =
+              ((static_cast<std::int64_t>(b) * c.heads + h) * c.max_seq + s) *
+                  c.head_size +
+              d;
+          worst = std::max(worst, std::abs(ctx.data()[idx] -
+                                           f.ctx_ref[static_cast<std::size_t>(idx)]));
+        }
+      }
+    }
+  }
+  EXPECT_LT(worst, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AttentionVariants,
+    ::testing::Values(Case{1, 16, 8, {8}},             // tiny, full length
+                      Case{1, 16, 8, {1}},             // single token
+                      Case{2, 16, 24, {24, 7}},        // mixed lengths
+                      Case{2, 32, 48, {48, 48}},       // exactly one tile
+                      Case{4, 16, 60, {1, 60, 31, 47}},  // ragged
+                      Case{2, 64, 96, {50, 96}},       // BERT head size
+                      Case{3, 64, 100, {3, 99, 64}}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "h" + std::to_string(info.param.heads) + "_d" +
+             std::to_string(info.param.head_size) + "_s" +
+             std::to_string(info.param.max_seq) + "_i" +
+             std::to_string(info.index);
+    });
+
+TEST(AttentionProperty, RandomLengthsAllVariantsAgree) {
+  Rng rng(777);
+  for (int iter = 0; iter < 8; ++iter) {
+    Case c;
+    c.heads = rng.uniform_int(1, 4);
+    c.head_size = 16 * rng.uniform_int(1, 3);
+    c.max_seq = rng.uniform_int(2, 80);
+    const int batch = rng.uniform_int(1, 5);
+    for (int b = 0; b < batch; ++b) {
+      c.lens.push_back(rng.uniform_int(1, c.max_seq));
+    }
+    Fixture f(c, 1000 + static_cast<std::uint64_t>(iter));
+    core::Workspace ws;
+    auto ctx_short = Tensor<fp16_t>::zeros({f.off.valid_count, f.hidden});
+    auto ctx_long = Tensor<fp16_t>::zeros({f.off.valid_count, f.hidden});
+    auto ctx_flash = Tensor<fp16_t>::zeros({f.off.valid_count, f.hidden});
+    PackedMhaArgs args{f.qkv.data(), f.qkv_bias.data(), nullptr, &f.off,
+                       c.heads,      c.head_size};
+    args.ctx = ctx_short.data();
+    mha_fused_short(dev(), args, ws);
+    args.ctx = ctx_long.data();
+    mha_fused_long(dev(), args, ws);
+    args.ctx = ctx_flash.data();
+    mha_flash_like(dev(), args, ws);
+    EXPECT_LT(f.diff_packed(ctx_short, c), kTol) << "iter " << iter;
+    EXPECT_LT(f.diff_packed(ctx_long, c), kTol) << "iter " << iter;
+    EXPECT_LT(f.diff_packed(ctx_flash, c), kTol) << "iter " << iter;
+    // Variants also agree with each other tightly.
+    EXPECT_LT(max_abs_diff(ctx_short, ctx_long), kTol);
+    EXPECT_LT(max_abs_diff(ctx_short, ctx_flash), kTol);
+  }
+}
+
+}  // namespace
+}  // namespace bt::attn

@@ -1,0 +1,245 @@
+// DeBERTa disentangled attention vs an independent FP64 reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/model.h"
+#include "models/deberta.h"
+#include "parallel/device.h"
+#include "test_utils.h"
+
+namespace bt::models {
+namespace {
+
+using core::BertConfig;
+using core::ModelKind;
+using core::ModelWeights;
+using core::OptFlags;
+using core::SeqOffsets;
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+BertConfig tiny_deberta(int heads, int hd, int span) {
+  BertConfig cfg;
+  cfg.kind = ModelKind::kDeberta;
+  cfg.layers = 1;
+  cfg.heads = heads;
+  cfg.head_size = hd;
+  cfg.relative_span = span;
+  return cfg;
+}
+
+TEST(RelativeBucket, ClampsAndShifts) {
+  const int k = 4;  // buckets [0, 8)
+  EXPECT_EQ(relative_bucket(0, 0, k), 4);   // d=0 -> k
+  EXPECT_EQ(relative_bucket(5, 2, k), 7);   // d=3
+  EXPECT_EQ(relative_bucket(9, 2, k), 7);   // d=7 clamps to k-1=3 -> 7
+  EXPECT_EQ(relative_bucket(2, 5, k), 1);   // d=-3 -> 1
+  EXPECT_EQ(relative_bucket(0, 100, k), 0);  // d << -k clamps to -k -> 0
+}
+
+// FP64 reference of the full DeBERTa layer (independent of the library's
+// GEMM/kernels; plain loops).
+std::vector<double> ref_deberta_layer(const BertConfig& cfg,
+                                      const ModelWeights& model,
+                                      const core::LayerWeights& w,
+                                      const std::vector<double>& input,
+                                      const SeqOffsets& off) {
+  const std::int64_t h = cfg.hidden();
+  const int heads = cfg.heads;
+  const int hd = cfg.head_size;
+  const int s = off.max_seq;
+  const int span = cfg.relative_span;
+  const int buckets = 2 * span;
+  const std::int64_t rows = static_cast<std::int64_t>(off.batch) * s;
+  const double scale = 1.0 / std::sqrt(3.0 * hd);
+
+  const auto w_qkv = test::to_f64(w.w_qkv);
+  const auto b_qkv = test::to_f64(w.b_qkv);
+  const auto rel = test::to_f64(model.rel_embed);
+  const auto wpk = test::to_f64(w.w_pos_key);
+  const auto wpq = test::to_f64(w.w_pos_query);
+
+  std::vector<double> qkv;
+  test::ref_gemm_rows(input, w_qkv, qkv, rows, 3 * h, h);
+  // Kr/Qr [buckets, h].
+  std::vector<double> kr;
+  std::vector<double> qr;
+  test::ref_gemm_rows(rel, wpk, kr, buckets, h, h);
+  test::ref_gemm_rows(rel, wpq, qr, buckets, h, h);
+
+  std::vector<double> ctx_rows(static_cast<std::size_t>(rows * h), 0.0);
+  std::vector<double> score(static_cast<std::size_t>(s), 0.0);
+  for (int b = 0; b < off.batch; ++b) {
+    const int len = off.seq_lens[static_cast<std::size_t>(b)];
+    for (int hi = 0; hi < heads; ++hi) {
+      for (int i = 0; i < len; ++i) {
+        const std::int64_t qrow = static_cast<std::int64_t>(b) * s + i;
+        // q vector for (b, i, hi) with bias.
+        std::vector<double> qv(static_cast<std::size_t>(hd));
+        for (int d = 0; d < hd; ++d) {
+          qv[static_cast<std::size_t>(d)] =
+              qkv[static_cast<std::size_t>(qrow * 3 * h + 0 * h + hi * hd + d)] +
+              b_qkv[static_cast<std::size_t>(0 * h + hi * hd + d)];
+        }
+        double mx = -INFINITY;
+        for (int j = 0; j < len; ++j) {
+          const std::int64_t krow = static_cast<std::int64_t>(b) * s + j;
+          double c2c = 0;
+          double c2p = 0;
+          double p2c = 0;
+          const int bij = relative_bucket(i, j, span);
+          const int bji = relative_bucket(j, i, span);
+          for (int d = 0; d < hd; ++d) {
+            const double kd =
+                qkv[static_cast<std::size_t>(krow * 3 * h + 1 * h + hi * hd + d)] +
+                b_qkv[static_cast<std::size_t>(1 * h + hi * hd + d)];
+            c2c += qv[static_cast<std::size_t>(d)] * kd;
+            c2p += qv[static_cast<std::size_t>(d)] *
+                   kr[static_cast<std::size_t>(bij) * h + hi * hd + d];
+            p2c += kd * qr[static_cast<std::size_t>(bji) * h + hi * hd + d];
+          }
+          score[static_cast<std::size_t>(j)] = (c2c + c2p + p2c) * scale;
+          mx = std::max(mx, score[static_cast<std::size_t>(j)]);
+        }
+        double sum = 0;
+        for (int j = 0; j < len; ++j) {
+          score[static_cast<std::size_t>(j)] =
+              std::exp(score[static_cast<std::size_t>(j)] - mx);
+          sum += score[static_cast<std::size_t>(j)];
+        }
+        for (int d = 0; d < hd; ++d) {
+          double acc = 0;
+          for (int j = 0; j < len; ++j) {
+            const std::int64_t vrow = static_cast<std::int64_t>(b) * s + j;
+            const double vd =
+                qkv[static_cast<std::size_t>(vrow * 3 * h + 2 * h + hi * hd + d)] +
+                b_qkv[static_cast<std::size_t>(2 * h + hi * hd + d)];
+            acc += score[static_cast<std::size_t>(j)] / sum * vd;
+          }
+          ctx_rows[static_cast<std::size_t>(qrow * h + hi * hd + d)] = acc;
+        }
+      }
+    }
+  }
+
+  // Projection + LN + FFN + LN, shared with the BERT reference.
+  const auto w_proj = test::to_f64(w.w_proj);
+  const auto b_proj = test::to_f64(w.b_proj);
+  const auto w_ffn1 = test::to_f64(w.w_ffn1);
+  const auto b_ffn1 = test::to_f64(w.b_ffn1);
+  const auto w_ffn2 = test::to_f64(w.w_ffn2);
+  const auto b_ffn2 = test::to_f64(w.b_ffn2);
+  std::vector<double> attn_out;
+  test::ref_gemm_rows(ctx_rows, w_proj, attn_out, rows, h, h);
+  std::vector<double> ln1;
+  test::ref_add_bias_residual_layernorm(attn_out, input, b_proj,
+                                        test::to_f64(w.ln1_gamma),
+                                        test::to_f64(w.ln1_beta), ln1, rows, h);
+  std::vector<double> mid;
+  test::ref_gemm_rows(ln1, w_ffn1, mid, rows, cfg.ffn_inner(), h, &b_ffn1,
+                      /*gelu=*/true);
+  std::vector<double> ffn_out;
+  test::ref_gemm_rows(mid, w_ffn2, ffn_out, rows, h, cfg.ffn_inner());
+  std::vector<double> out;
+  test::ref_add_bias_residual_layernorm(ffn_out, ln1, b_ffn2,
+                                        test::to_f64(w.ln2_gamma),
+                                        test::to_f64(w.ln2_beta), out, rows, h);
+  return out;
+}
+
+TEST(Deberta, PaddedLayerMatchesReference) {
+  const auto cfg = tiny_deberta(2, 16, 4);
+  Rng rng(61);
+  const auto model = ModelWeights::random(cfg, rng);
+  auto in = test::make_varlen_input(dev(), std::vector<int>{10, 6}, 12,
+                                    cfg.hidden(), rng);
+  const auto want =
+      ref_deberta_layer(cfg, model, model.layer(0), test::to_f64(in.padded), in.off);
+
+  core::Workspace ws;
+  auto out = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  deberta_layer_forward(dev(), cfg, model, model.layer(0),
+                        OptFlags::baseline(), in.padded.data(), out.data(),
+                        in.off, ws);
+  EXPECT_LT(test::max_diff_valid_rows(out, want, in.off, cfg.hidden()), 0.1);
+}
+
+TEST(Deberta, PackedPipelineMatchesPadded) {
+  const auto cfg = tiny_deberta(2, 16, 6);
+  Rng rng(62);
+  core::BertModel model(ModelWeights::random(cfg, rng));
+  auto in = test::make_varlen_input(dev(), std::vector<int>{14, 3, 9}, 14,
+                                    cfg.hidden(), rng);
+  core::Workspace ws1;
+  core::Workspace ws2;
+  auto out_padded = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  auto out_packed = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  model.forward(dev(), in.padded.data(), out_padded.data(), in.off,
+                OptFlags::baseline(), ws1);
+  // ByteTransformer mode for DeBERTa: packed + fused kernels, batched
+  // disentangled attention with zero-padding softmax.
+  OptFlags flags = OptFlags::zero_padding_enabled();
+  model.forward(dev(), in.padded.data(), out_packed.data(), in.off, flags,
+                ws2);
+  double worst = 0;
+  for (std::int64_t v = 0; v < in.off.valid_count; ++v) {
+    const std::int64_t r = in.off.packed_to_padded[static_cast<std::size_t>(v)];
+    for (int j = 0; j < cfg.hidden(); ++j) {
+      worst = std::max(worst, std::abs(static_cast<double>(load_f32(out_padded(r, j))) -
+                                       load_f32(out_packed(r, j))));
+    }
+  }
+  EXPECT_LT(worst, 0.1);
+}
+
+TEST(Deberta, LongRangeClampingTakesEffect) {
+  // Sequences longer than the relative span: distant pairs share the edge
+  // bucket, so the kernel must still agree with the reference.
+  const auto cfg = tiny_deberta(1, 16, 2);  // span 2 << seq 20
+  Rng rng(63);
+  const auto model = ModelWeights::random(cfg, rng);
+  auto in = test::make_varlen_input(dev(), std::vector<int>{20}, 20,
+                                    cfg.hidden(), rng);
+  const auto want =
+      ref_deberta_layer(cfg, model, model.layer(0), test::to_f64(in.padded), in.off);
+  core::Workspace ws;
+  auto out = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  deberta_layer_forward(dev(), cfg, model, model.layer(0),
+                        OptFlags::baseline(), in.padded.data(), out.data(),
+                        in.off, ws);
+  EXPECT_LT(test::max_diff_valid_rows(out, want, in.off, cfg.hidden()), 0.1);
+}
+
+TEST(Deberta, RandomizedProperty) {
+  Rng rng(64);
+  for (int iter = 0; iter < 3; ++iter) {
+    const auto cfg = tiny_deberta(rng.uniform_int(1, 3), 16,
+                                  rng.uniform_int(2, 8));
+    const auto model = ModelWeights::random(cfg, rng);
+    const int max_seq = rng.uniform_int(4, 24);
+    std::vector<int> lens(static_cast<std::size_t>(rng.uniform_int(1, 3)));
+    for (int& l : lens) l = rng.uniform_int(1, max_seq);
+    auto in = test::make_varlen_input(dev(), lens, max_seq, cfg.hidden(), rng);
+    const auto want = ref_deberta_layer(cfg, model, model.layer(0),
+                                        test::to_f64(in.padded), in.off);
+    core::Workspace ws;
+    // Padded baseline and fully-fused padded variant both match the ref.
+    for (const auto& flags :
+         {OptFlags::baseline(), OptFlags::bias_gelu_fused()}) {
+      auto out = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+      deberta_layer_forward(dev(), cfg, model, model.layer(0), flags,
+                            in.padded.data(), out.data(), in.off, ws);
+      EXPECT_LT(test::max_diff_valid_rows(out, want, in.off, cfg.hidden()),
+                0.1)
+          << "iter " << iter << " flags " << flags.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bt::models

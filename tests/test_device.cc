@@ -1,0 +1,117 @@
+// Device: CTA grid launches and scratch arena semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "parallel/device.h"
+
+namespace bt::par {
+namespace {
+
+TEST(CtaScratch, BumpAllocationAndReset) {
+  CtaScratch s(1024);
+  auto a = s.alloc<float>(64);  // 256 bytes
+  EXPECT_EQ(a.size(), 64u);
+  auto b = s.alloc<float>(64);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_NE(a.data(), b.data());
+  // Exceeding the arena returns an empty span (not UB).
+  auto c = s.alloc<float>(200);
+  EXPECT_TRUE(c.empty());
+  s.reset();
+  auto d = s.alloc<float>(64);
+  EXPECT_EQ(d.data(), a.data());  // back to the start
+}
+
+TEST(CtaScratch, AlignedAllocations) {
+  CtaScratch s(4096);
+  auto a = s.alloc<char>(3);
+  (void)a;
+  auto b = s.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 16, 0u);
+}
+
+TEST(CtaScratch, CapacityDefaultsMatchA100) {
+  CtaScratch s;
+  EXPECT_EQ(s.capacity(), 164u * 1024u);
+}
+
+TEST(Device, GridDecomposition) {
+  Device dev(2);
+  std::set<std::tuple<int, int, int>> seen;
+  std::mutex mu;
+  Dim3 grid{3, 4, 5};
+  dev.launch(grid, [&](CtaContext& ctx) {
+    std::lock_guard lock(mu);
+    seen.insert({ctx.block_x, ctx.block_y, ctx.block_z});
+  });
+  EXPECT_EQ(seen.size(), 60u);
+  EXPECT_TRUE(seen.count({0, 0, 0}));
+  EXPECT_TRUE(seen.count({2, 3, 4}));
+  EXPECT_FALSE(seen.count({3, 0, 0}));
+}
+
+TEST(Device, ScratchIsResetPerCta) {
+  Device dev(2, /*scratch_bytes=*/4096);
+  std::atomic<bool> ok{true};
+  dev.launch({64, 1, 1}, [&](CtaContext& ctx) {
+    // Every CTA should be able to allocate most of the arena: proves reset.
+    auto s = ctx.scratch->alloc<float>(900);
+    if (s.empty()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Device, WorkerIndexMatchesScratchArena) {
+  Device dev(3);
+  std::atomic<bool> ok{true};
+  dev.launch({100, 1, 1}, [&](CtaContext& ctx) {
+    if (ctx.worker < 0 || ctx.worker >= 3) ok = false;
+    if (ctx.scratch == nullptr) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Device, EmptyGridIsNoOp) {
+  Device dev(2);
+  std::atomic<int> n{0};
+  dev.launch({0, 5, 5}, [&](CtaContext&) { ++n; });
+  EXPECT_EQ(n.load(), 0);
+}
+
+TEST(Device, ParallelForGrain) {
+  Device dev(2);
+  std::vector<std::atomic<int>> counts(1000);
+  dev.parallel_for(0, 1000, 32, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Device, DefaultDeviceSingleton) {
+  EXPECT_EQ(&default_device(), &default_device());
+  EXPECT_GE(default_device().workers(), 1);
+}
+
+TEST(Device, SingleWorkerDeterministicOrderIndependence) {
+  // Same kernel on 1 vs N workers must produce identical buffers when CTAs
+  // write disjoint slices.
+  std::vector<int> out1(256, 0);
+  std::vector<int> outN(256, 0);
+  Device d1(1);
+  Device dN(4);
+  auto kernel = [](std::vector<int>& out) {
+    return [&out](CtaContext& ctx) {
+      out[static_cast<std::size_t>(ctx.block_y * 16 + ctx.block_x)] =
+          ctx.block_y * 100 + ctx.block_x;
+    };
+  };
+  d1.launch({16, 16, 1}, kernel(out1));
+  dN.launch({16, 16, 1}, kernel(outN));
+  EXPECT_EQ(out1, outN);
+}
+
+}  // namespace
+}  // namespace bt::par

@@ -1,0 +1,93 @@
+// Parameterized sweep: the full encoder layer across head sizes, sequence
+// regimes and optimization levels, every combination checked against the
+// FP64 reference. Complements test_encoder_layer's targeted cases with
+// breadth.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/encoder_layer.h"
+#include "parallel/device.h"
+#include "test_utils.h"
+
+namespace bt::core {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+// (heads, head_size, max_seq, opt level index)
+using SweepParam = std::tuple<int, int, int, int>;
+
+OptFlags level_flags(int level) {
+  switch (level) {
+    case 0: return OptFlags::baseline();
+    case 1: return OptFlags::layernorm_fused();
+    case 2: return OptFlags::bias_gelu_fused();
+    case 3: return OptFlags::zero_padding_enabled();
+    default: return OptFlags::byte_transformer();
+  }
+}
+
+class EncoderSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EncoderSweep, MatchesReference) {
+  const auto [heads, head_size, max_seq, level] = GetParam();
+  BertConfig cfg;
+  cfg.heads = heads;
+  cfg.head_size = head_size;
+  cfg.layers = 1;
+
+  Rng rng(static_cast<std::uint64_t>(heads * 1000 + head_size * 10 + max_seq +
+                                     level));
+  const auto w = LayerWeights::random(cfg, rng);
+  // Length mix exercising 1-token, partial and full sequences.
+  std::vector<int> lens{max_seq, 1, std::max(1, max_seq / 2)};
+  auto in = test::make_varlen_input(dev(), lens, max_seq, cfg.hidden(), rng);
+  const auto want = test::ref_encoder_layer(cfg, w, test::to_f64(in.padded),
+                                            in.off);
+
+  const OptFlags flags = level_flags(level);
+  Workspace ws;
+  const std::int64_t h = cfg.hidden();
+  double diff = 0;
+  if (!flags.zero_padding) {
+    auto out = Tensor<fp16_t>::zeros({in.padded.dim(0), h});
+    encoder_layer_forward(dev(), cfg, w, flags, in.padded.data(), out.data(),
+                          in.off, ws);
+    diff = test::max_diff_valid_rows(out, want, in.off, h);
+  } else {
+    auto packed_in = Tensor<fp16_t>::zeros({in.off.valid_count, h});
+    pack_rows(dev(), in.padded.data(), packed_in.data(), in.off, h);
+    auto packed_out = Tensor<fp16_t>::zeros({in.off.valid_count, h});
+    encoder_layer_forward(dev(), cfg, w, flags, packed_in.data(),
+                          packed_out.data(), in.off, ws);
+    auto out = Tensor<fp16_t>::zeros({in.padded.dim(0), h});
+    unpack_rows(dev(), packed_out.data(), out.data(), in.off, h);
+    diff = test::max_diff_valid_rows(out, want, in.off, h);
+  }
+  EXPECT_LT(diff, 0.08) << "heads=" << heads << " hd=" << head_size
+                        << " seq=" << max_seq << " level=" << level;
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto [heads, head_size, max_seq, level] = info.param;
+  return "h" + std::to_string(heads) + "d" + std::to_string(head_size) + "s" +
+         std::to_string(max_seq) + "L" + std::to_string(level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EncoderSweep,
+    ::testing::Combine(::testing::Values(1, 3),        // heads
+                       ::testing::Values(16, 64),      // head size
+                       ::testing::Values(8, 49, 130),  // max_seq (incl. odd
+                                                       // and >2 query tiles)
+                       ::testing::Values(0, 1, 2, 3, 4)),  // opt level
+    sweep_name);
+
+}  // namespace
+}  // namespace bt::core

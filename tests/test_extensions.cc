@@ -1,0 +1,295 @@
+// Extensions beyond the paper's evaluation: weight serialization and causal
+// (decoder-style) attention — the decoder direction the paper lists as
+// future work.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attention/attention.h"
+#include "core/model.h"
+#include "core/serialization.h"
+#include "kernels/transpose.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+#include "test_utils.h"
+
+namespace bt {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ---- serialization ---------------------------------------------------------
+
+TEST(Serialization, RoundTripIsBitExact) {
+  core::BertConfig cfg;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.head_size = 16;
+  Rng rng(1001);
+  const auto original = core::ModelWeights::random(cfg, rng);
+  const std::string path = temp_path("bert.btw");
+  ASSERT_TRUE(core::save_model_weights(original, path));
+
+  core::ModelWeights loaded;
+  ASSERT_TRUE(core::load_model_weights(loaded, path));
+  EXPECT_EQ(loaded.config.layers, 2);
+  EXPECT_EQ(loaded.config.heads, 2);
+  ASSERT_EQ(loaded.layers.size(), original.layers.size());
+  for (std::size_t l = 0; l < original.layers.size(); ++l) {
+    EXPECT_EQ(max_abs_diff(original.layers[l].w_qkv, loaded.layers[l].w_qkv), 0.0);
+    EXPECT_EQ(max_abs_diff(original.layers[l].b_ffn1, loaded.layers[l].b_ffn1), 0.0);
+    EXPECT_EQ(max_abs_diff(original.layers[l].ln2_gamma, loaded.layers[l].ln2_gamma), 0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, LoadedModelProducesIdenticalOutput) {
+  core::BertConfig cfg;
+  cfg.layers = 1;
+  cfg.heads = 2;
+  cfg.head_size = 16;
+  Rng rng(1002);
+  auto weights = core::ModelWeights::random(cfg, rng);
+  const std::string path = temp_path("bert2.btw");
+  ASSERT_TRUE(core::save_model_weights(weights, path));
+  core::ModelWeights loaded;
+  ASSERT_TRUE(core::load_model_weights(loaded, path));
+
+  auto in = test::make_varlen_input(dev(), std::vector<int>{9, 14}, 14,
+                                    cfg.hidden(), rng);
+  core::Workspace ws;
+  const core::BertModel m1(std::move(weights));
+  const core::BertModel m2(std::move(loaded));
+  auto o1 = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  auto o2 = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  m1.forward(dev(), in.padded.data(), o1.data(), in.off,
+             core::OptFlags::byte_transformer(), ws);
+  m2.forward(dev(), in.padded.data(), o2.data(), in.off,
+             core::OptFlags::byte_transformer(), ws);
+  for (std::int64_t i = 0; i < o1.size(); ++i) {
+    EXPECT_EQ(o1.data()[i].bits(), o2.data()[i].bits());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, DebertaExtrasPersist) {
+  core::BertConfig cfg;
+  cfg.kind = core::ModelKind::kDeberta;
+  cfg.layers = 1;
+  cfg.heads = 2;
+  cfg.head_size = 16;
+  cfg.relative_span = 8;
+  Rng rng(1003);
+  const auto original = core::ModelWeights::random(cfg, rng);
+  const std::string path = temp_path("deberta.btw");
+  ASSERT_TRUE(core::save_model_weights(original, path));
+  core::ModelWeights loaded;
+  ASSERT_TRUE(core::load_model_weights(loaded, path));
+  EXPECT_EQ(loaded.config.relative_span, 8);
+  EXPECT_EQ(max_abs_diff(original.rel_embed, loaded.rel_embed), 0.0);
+  EXPECT_EQ(max_abs_diff(original.layers[0].w_pos_key, loaded.layers[0].w_pos_key), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, AlbertStoresOnePhysicalLayer) {
+  auto cfg = core::BertConfig::albert_base().scaled(2, 3);
+  Rng rng(1004);
+  const auto original = core::ModelWeights::random(cfg, rng);
+  const std::string path = temp_path("albert.btw");
+  ASSERT_TRUE(core::save_model_weights(original, path));
+  core::ModelWeights loaded;
+  ASSERT_TRUE(core::load_model_weights(loaded, path));
+  EXPECT_EQ(loaded.layers.size(), 1u);
+  EXPECT_EQ(loaded.config.layers, 3);
+  EXPECT_TRUE(loaded.config.share_layers);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, RejectsGarbageAndMissingFiles) {
+  core::ModelWeights w;
+  EXPECT_FALSE(core::load_model_weights(w, temp_path("does_not_exist.btw")));
+  const std::string path = temp_path("garbage.btw");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "not a weight file";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(core::load_model_weights(w, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, RejectsTruncatedFile) {
+  core::BertConfig cfg;
+  cfg.layers = 1;
+  cfg.heads = 1;
+  cfg.head_size = 16;
+  Rng rng(1005);
+  const auto original = core::ModelWeights::random(cfg, rng);
+  const std::string path = temp_path("trunc.btw");
+  ASSERT_TRUE(core::save_model_weights(original, path));
+  // Truncate to half by rewriting the prefix.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> buf(static_cast<std::size_t>(size / 2));
+  ASSERT_EQ(std::fread(buf.data(), 1, buf.size(), f), buf.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), f), buf.size());
+  std::fclose(f);
+  core::ModelWeights loaded;
+  EXPECT_FALSE(core::load_model_weights(loaded, path));
+  std::remove(path.c_str());
+}
+
+// ---- causal attention ------------------------------------------------------
+
+struct CausalSetup {
+  core::SeqOffsets off;
+  Tensor<fp16_t> qkv, bias;
+  int heads, hd, hidden;
+
+  CausalSetup(std::vector<int> lens, int max_seq, int heads_, int hd_,
+              std::uint64_t seed) {
+    Rng rng(seed);
+    heads = heads_;
+    hd = hd_;
+    hidden = heads * hd;
+    off = core::build_seq_offsets(dev(), lens, max_seq);
+    qkv = Tensor<fp16_t>::random_normal({off.valid_count, 3 * hidden}, rng);
+    bias = Tensor<fp16_t>::random_normal({3 * hidden}, rng, 0.1f);
+  }
+
+  // FP64 causal reference on the padded layout; returns per-head context.
+  std::vector<double> reference() const {
+    const std::int64_t per_head = static_cast<std::int64_t>(off.batch) *
+                                  heads * off.max_seq * hd;
+    Tensor<fp16_t> q({per_head});
+    Tensor<fp16_t> k({per_head});
+    Tensor<fp16_t> v({per_head});
+    kernels::split_qkv_add_bias_rebuild_padding(dev(), qkv.data(), bias.data(),
+                                                q.data(), k.data(), v.data(),
+                                                off, heads, hd);
+    const auto qd = test::to_f64(q);
+    const auto kd = test::to_f64(k);
+    const auto vd = test::to_f64(v);
+    std::vector<double> ctx(static_cast<std::size_t>(per_head), 0.0);
+    attn::mha_reference(qd.data(), kd.data(), vd.data(), ctx.data(),
+                        off.batch, heads, off.max_seq, hd, off.seq_lens,
+                        /*causal=*/true);
+    return ctx;
+  }
+
+  double diff_packed(const Tensor<fp16_t>& ctx,
+                     const std::vector<double>& ref) const {
+    double worst = 0;
+    for (std::int64_t t = 0; t < off.valid_count; ++t) {
+      const std::int64_t padded = off.packed_to_padded[static_cast<std::size_t>(t)];
+      const std::int64_t b = padded / off.max_seq;
+      const std::int64_t s = padded % off.max_seq;
+      for (int h = 0; h < heads; ++h) {
+        for (int d = 0; d < hd; ++d) {
+          const std::int64_t ri = ((b * heads + h) * off.max_seq + s) * hd + d;
+          worst = std::max(
+              worst, std::abs(static_cast<double>(load_f32(
+                                  ctx.data()[t * hidden + h * hd + d])) -
+                              ref[static_cast<std::size_t>(ri)]));
+        }
+      }
+    }
+    return worst;
+  }
+};
+
+TEST(CausalAttention, ShortKernelMatchesReference) {
+  CausalSetup s({20, 7, 31}, 31, 2, 16, 2001);
+  const auto ref = s.reference();
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({s.off.valid_count, s.hidden});
+  attn::PackedMhaArgs args{s.qkv.data(), s.bias.data(), ctx.data(), &s.off,
+                           s.heads, s.hd, /*causal=*/true};
+  attn::mha_fused_short(dev(), args, ws);
+  EXPECT_LT(s.diff_packed(ctx, ref), 4e-2);
+}
+
+TEST(CausalAttention, FlashKernelMatchesReference) {
+  CausalSetup s({80, 33, 100}, 100, 2, 16, 2002);
+  const auto ref = s.reference();
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({s.off.valid_count, s.hidden});
+  attn::PackedMhaArgs args{s.qkv.data(), s.bias.data(), ctx.data(), &s.off,
+                           s.heads, s.hd, /*causal=*/true};
+  attn::mha_flash_like(dev(), args, ws);
+  EXPECT_LT(s.diff_packed(ctx, ref), 4e-2);
+}
+
+TEST(CausalAttention, FirstTokenAttendsOnlyToItself) {
+  // With causal masking, token 0's context is exactly V_0 (+bias).
+  CausalSetup s({5}, 5, 1, 16, 2003);
+  core::Workspace ws;
+  auto ctx = Tensor<fp16_t>::zeros({s.off.valid_count, s.hidden});
+  attn::PackedMhaArgs args{s.qkv.data(), s.bias.data(), ctx.data(), &s.off,
+                           s.heads, s.hd, /*causal=*/true};
+  attn::mha_fused_short(dev(), args, ws);
+  for (int j = 0; j < s.hidden; ++j) {
+    const float want = load_f32(s.qkv(0, 2 * s.hidden + j)) +
+                       load_f32(s.bias.data()[2 * s.hidden + j]);
+    EXPECT_NEAR(load_f32(ctx(0, j)), want, 1e-2);
+  }
+}
+
+TEST(CausalAttention, DispatcherRoutesCausalLongToFlash) {
+  // Past the cutoff with causal = true, mha_fused must produce the flash
+  // kernel's (causal-capable) result.
+  CausalSetup s({attn::kShortSeqCutoff + 16}, attn::kShortSeqCutoff + 16, 1,
+                16, 2004);
+  core::Workspace ws;
+  auto a = Tensor<fp16_t>::zeros({s.off.valid_count, s.hidden});
+  auto b = Tensor<fp16_t>::zeros({s.off.valid_count, s.hidden});
+  attn::PackedMhaArgs args{s.qkv.data(), s.bias.data(), a.data(), &s.off,
+                           s.heads, s.hd, /*causal=*/true};
+  attn::mha_fused(dev(), args, ws);
+  args.ctx = b.data();
+  attn::mha_flash_like(dev(), args, ws);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i].bits(), b.data()[i].bits());
+  }
+}
+
+TEST(CausalAttention, CausalAndFullDifferOnLaterTokens) {
+  // Sanity: causal and non-causal must actually differ (mask is real).
+  CausalSetup s({10}, 10, 1, 16, 2005);
+  core::Workspace ws;
+  auto full = Tensor<fp16_t>::zeros({s.off.valid_count, s.hidden});
+  auto causal = Tensor<fp16_t>::zeros({s.off.valid_count, s.hidden});
+  attn::PackedMhaArgs args{s.qkv.data(), s.bias.data(), full.data(), &s.off,
+                           s.heads, s.hd, /*causal=*/false};
+  attn::mha_fused_short(dev(), args, ws);
+  args.ctx = causal.data();
+  args.causal = true;
+  attn::mha_fused_short(dev(), args, ws);
+  EXPECT_GT(max_abs_diff(full, causal), 1e-3);
+  // But the LAST token sees everything either way.
+  double last_diff = 0;
+  for (int j = 0; j < s.hidden; ++j) {
+    last_diff = std::max(last_diff,
+                         std::abs(static_cast<double>(load_f32(full(9, j))) -
+                                  load_f32(causal(9, j))));
+  }
+  EXPECT_LT(last_diff, 1e-6);
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,215 @@
+// Single-problem GEMM vs FP64 reference, parameterized over shapes,
+// transposes, storage types, alpha/beta and strided leading dimensions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "gemm/gemm.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+
+namespace bt::gemm {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+// (m, n, k): chosen to hit every tile-edge case of the 64x64x128 blocking.
+using Shape = std::tuple<int, int, int>;
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, F32MatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000003 + n * 1009 + k));
+  auto a = Tensor<float>::random_normal({m, k}, rng);
+  auto b = Tensor<float>::random_normal({k, n}, rng);
+  auto c = Tensor<float>::zeros({m, n});
+  gemm_f32(dev(), Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
+           0.0f, c.data(), n);
+
+  std::vector<double> want(static_cast<std::size_t>(m) * n);
+  gemm_reference(Trans::N, Trans::N, m, n, k, 1.0, a.data(), k, b.data(), n,
+                 want.data(), n);
+  double worst = 0;
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    worst = std::max(worst, std::abs(c.data()[i] - want[static_cast<std::size_t>(i)]));
+  }
+  // FP32 accumulate over k terms of unit-variance products.
+  EXPECT_LT(worst, 1e-3 * std::sqrt(static_cast<double>(k)));
+}
+
+TEST_P(GemmShapes, F16MatchesReferenceWithRoundoff) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7 + n * 13 + k * 31));
+  auto a = Tensor<fp16_t>::random_normal({m, k}, rng);
+  auto b = Tensor<fp16_t>::random_normal({k, n}, rng);
+  auto c = Tensor<fp16_t>::zeros({m, n});
+  gemm_f16(dev(), Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
+           0.0f, c.data(), n);
+
+  std::vector<double> want(static_cast<std::size_t>(m) * n);
+  gemm_reference(Trans::N, Trans::N, m, n, k, 1.0, a.data(), k, b.data(), n,
+                 want.data(), n);
+  double worst = 0;
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(load_f32(c.data()[i])) -
+                                     want[static_cast<std::size_t>(i)]));
+  }
+  // Result rounding to FP16 dominates: ~2^-11 relative on values ~sqrt(k).
+  EXPECT_LT(worst, 3e-2 * std::sqrt(static_cast<double>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 64, 64}, Shape{64, 1, 64},
+                      Shape{64, 64, 1}, Shape{64, 64, 64},
+                      Shape{64, 64, 128}, Shape{64, 64, 129},
+                      Shape{65, 63, 127}, Shape{128, 128, 128},
+                      Shape{100, 100, 100}, Shape{33, 190, 77},
+                      Shape{256, 48, 192}, Shape{17, 300, 5}));
+
+class GemmTrans
+    : public ::testing::TestWithParam<std::tuple<Trans, Trans>> {};
+
+TEST_P(GemmTrans, AllTransposeCombinations) {
+  const auto [ta, tb] = GetParam();
+  const int m = 70;
+  const int n = 90;
+  const int k = 110;
+  Rng rng(99);
+  // Allocate operands in their storage shape.
+  const std::int64_t a_rows = ta == Trans::N ? m : k;
+  const std::int64_t a_cols = ta == Trans::N ? k : m;
+  const std::int64_t b_rows = tb == Trans::N ? k : n;
+  const std::int64_t b_cols = tb == Trans::N ? n : k;
+  auto a = Tensor<float>::random_normal({a_rows, a_cols}, rng);
+  auto b = Tensor<float>::random_normal({b_rows, b_cols}, rng);
+  auto c = Tensor<float>::zeros({m, n});
+  gemm<float, float, float>(dev(), ta, tb, m, n, k, 1.0f, a.data(), a_cols,
+                            b.data(), b_cols, 0.0f, c.data(), n);
+
+  std::vector<double> want(static_cast<std::size_t>(m) * n);
+  gemm_reference(ta, tb, m, n, k, 1.0, a.data(), a_cols, b.data(), b_cols,
+                 want.data(), n);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], want[static_cast<std::size_t>(i)], 2e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransCombos, GemmTrans,
+    ::testing::Combine(::testing::Values(Trans::N, Trans::T),
+                       ::testing::Values(Trans::N, Trans::T)));
+
+TEST(Gemm, AlphaScalesResult) {
+  const int m = 32;
+  const int n = 32;
+  const int k = 32;
+  Rng rng(1);
+  auto a = Tensor<float>::random_normal({m, k}, rng);
+  auto b = Tensor<float>::random_normal({k, n}, rng);
+  auto c1 = Tensor<float>::zeros({m, n});
+  auto c2 = Tensor<float>::zeros({m, n});
+  gemm_f32(dev(), Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
+           0.0f, c1.data(), n);
+  gemm_f32(dev(), Trans::N, Trans::N, m, n, k, 2.5f, a.data(), k, b.data(), n,
+           0.0f, c2.data(), n);
+  for (std::int64_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c2.data()[i], 2.5f * c1.data()[i], 1e-4);
+  }
+}
+
+TEST(Gemm, BetaAccumulatesIntoC) {
+  const int m = 48;
+  const int n = 48;
+  const int k = 16;
+  Rng rng(2);
+  auto a = Tensor<float>::random_normal({m, k}, rng);
+  auto b = Tensor<float>::random_normal({k, n}, rng);
+  auto c = Tensor<float>({m, n});
+  c.fill(10.0f);
+  auto want = c.clone();
+  gemm_f32(dev(), Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
+           0.5f, c.data(), n);
+  std::vector<double> prod(static_cast<std::size_t>(m) * n);
+  gemm_reference(Trans::N, Trans::N, m, n, k, 1.0, a.data(), k, b.data(), n,
+                 prod.data(), n);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], prod[static_cast<std::size_t>(i)] + 0.5 * 10.0, 1e-3);
+  }
+  (void)want;
+}
+
+TEST(Gemm, StridedLeadingDimensions) {
+  // Operate on a sub-matrix embedded in a wider allocation — the access
+  // pattern the packed attention uses (per-head column slices, ld = hidden).
+  const int m = 40;
+  const int n = 24;
+  const int k = 64;
+  const int lda = 200;
+  const int ldb = 150;
+  const int ldc = 99;
+  Rng rng(3);
+  auto a = Tensor<float>::random_normal({m, lda}, rng);
+  auto b = Tensor<float>::random_normal({k, ldb}, rng);
+  auto c = Tensor<float>::zeros({m, ldc});
+  gemm_f32(dev(), Trans::N, Trans::N, m, n, k, 1.0f, a.data(), lda, b.data(),
+           ldb, 0.0f, c.data(), ldc);
+  std::vector<double> want(static_cast<std::size_t>(m) * n);
+  gemm_reference(Trans::N, Trans::N, m, n, k, 1.0, a.data(), lda, b.data(),
+                 ldb, want.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(c(i, j), want[static_cast<std::size_t>(i) * n + j], 2e-3);
+    }
+  }
+}
+
+TEST(Gemm, EmptyProblemIsNoOp) {
+  auto c = Tensor<float>({4, 4});
+  c.fill(7.0f);
+  gemm_f32(dev(), Trans::N, Trans::N, 0, 4, 4, 1.0f, nullptr, 4, nullptr, 4,
+           0.0f, c.data(), 4);
+  gemm_f32(dev(), Trans::N, Trans::N, 4, 0, 4, 1.0f, nullptr, 4, nullptr, 4,
+           0.0f, c.data(), 4);
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(c.data()[i], 7.0f);
+}
+
+TEST(Gemm, KZeroProducesZero) {
+  auto c = Tensor<float>({4, 4});
+  c.fill(7.0f);
+  const float dummy = 0.0f;
+  gemm_f32(dev(), Trans::N, Trans::N, 4, 4, 0, 1.0f, &dummy, 1, &dummy, 4,
+           0.0f, c.data(), 4);
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(c.data()[i], 0.0f);
+}
+
+TEST(Gemm, DeterministicAcrossWorkerCounts) {
+  // Tiles partition the output, so 1-worker and N-worker runs must produce
+  // bit-identical results.
+  const int m = 130;
+  const int n = 70;
+  const int k = 200;
+  Rng rng(5);
+  auto a = Tensor<fp16_t>::random_normal({m, k}, rng);
+  auto b = Tensor<fp16_t>::random_normal({k, n}, rng);
+  auto c1 = Tensor<fp16_t>::zeros({m, n});
+  auto c2 = Tensor<fp16_t>::zeros({m, n});
+  par::Device d1(1);
+  par::Device d4(4);
+  gemm_f16(d1, Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
+           0.0f, c1.data(), n);
+  gemm_f16(d4, Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
+           0.0f, c2.data(), n);
+  for (std::int64_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1.data()[i].bits(), c2.data()[i].bits());
+  }
+}
+
+}  // namespace
+}  // namespace bt::gemm

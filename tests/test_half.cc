@@ -1,0 +1,180 @@
+// FP16 storage type: IEEE binary16 conversion semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/half.h"
+#include "common/rng.h"
+
+namespace bt {
+namespace {
+
+TEST(Half, ZeroRoundTrip) {
+  EXPECT_EQ(fp16_t(0.0f).bits(), 0u);
+  EXPECT_EQ(static_cast<float>(fp16_t(0.0f)), 0.0f);
+  EXPECT_EQ(fp16_t(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(static_cast<float>(fp16_t(-0.0f)), -0.0f);
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // Integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; i += 7) {
+    EXPECT_EQ(static_cast<float>(fp16_t(static_cast<float>(i))),
+              static_cast<float>(i))
+        << "i=" << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(fp16_t(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(fp16_t(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(fp16_t(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(fp16_t(65504.0f).bits(), 0x7BFFu);  // max finite
+  // Smallest positive normal 2^-14 and subnormal 2^-24.
+  EXPECT_EQ(fp16_t(6.103515625e-05f).bits(), 0x0400u);
+  EXPECT_EQ(fp16_t(5.9604644775390625e-08f).bits(), 0x0001u);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_EQ(fp16_t(65520.0f).bits(), 0x7C00u);
+  EXPECT_EQ(fp16_t(1e10f).bits(), 0x7C00u);
+  EXPECT_EQ(fp16_t(-1e10f).bits(), 0xFC00u);
+  EXPECT_TRUE(std::isinf(static_cast<float>(fp16_t(1e10f))));
+}
+
+TEST(Half, ValuesJustBelowOverflowRoundDown) {
+  // 65519.9 rounds to 65504 (max finite), not Inf.
+  EXPECT_EQ(fp16_t(65519.0f).bits(), 0x7BFFu);
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(fp16_t(1e-10f).bits(), 0u);
+  // Exactly 2^-25 ties to even -> zero.
+  EXPECT_EQ(fp16_t(std::ldexp(1.0f, -25)).bits(), 0u);
+  // Just above 2^-25 rounds to the smallest subnormal.
+  EXPECT_EQ(fp16_t(std::nextafter(std::ldexp(1.0f, -25), 1.0f)).bits(), 0x0001u);
+}
+
+TEST(Half, SubnormalRoundTrip) {
+  for (std::uint16_t bits = 1; bits < 0x400u; bits += 13) {
+    const fp16_t h = fp16_t::from_bits(bits);
+    EXPECT_EQ(fp16_t(static_cast<float>(h)).bits(), bits);
+  }
+}
+
+TEST(Half, NanPropagates) {
+  const fp16_t h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(static_cast<float>(h)));
+  EXPECT_EQ(h.bits() & 0x7C00u, 0x7C00u);
+  EXPECT_NE(h.bits() & 0x03FFu, 0u);
+}
+
+TEST(Half, InfinityRoundTrip) {
+  EXPECT_EQ(fp16_t(std::numeric_limits<float>::infinity()).bits(), 0x7C00u);
+  EXPECT_TRUE(std::isinf(static_cast<float>(fp16_t::from_bits(0x7C00))));
+  EXPECT_LT(static_cast<float>(fp16_t::from_bits(0xFC00)), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1.0 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to 1.0
+  // (even mantissa).
+  EXPECT_EQ(fp16_t(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3C00u);
+  // (1+2^-10) + 2^-11 is halfway between odd and even: ties up to 1+2^-9.
+  EXPECT_EQ(fp16_t(1.0f + std::ldexp(1.0f, -10) + std::ldexp(1.0f, -11)).bits(),
+            0x3C02u);
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite half value converts to float and back exactly.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto h = fp16_t::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(fp16_t(f).bits(), bits) << "bits=" << bits;
+  }
+}
+
+TEST(Half, SoftwarePathMatchesHardware) {
+  // The soft conversion must agree with whatever fp16_t uses (F16C here).
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    const float f = rng.uniform(-70000.0f, 70000.0f);
+    EXPECT_EQ(detail::float_to_half_bits_soft(f), fp16_t::from_float(f))
+        << "f=" << f;
+  }
+  for (int i = 0; i < 100000; ++i) {
+    const float f = rng.uniform(-1e-4f, 1e-4f);  // subnormal-heavy range
+    EXPECT_EQ(detail::float_to_half_bits_soft(f), fp16_t::from_float(f))
+        << "f=" << f;
+  }
+}
+
+TEST(Half, SoftwareToFloatMatchesHardware) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const float hw = fp16_t::to_float(static_cast<std::uint16_t>(bits));
+    const float sw =
+        detail::half_bits_to_float_soft(static_cast<std::uint16_t>(bits));
+    if (std::isnan(hw)) {
+      EXPECT_TRUE(std::isnan(sw));
+    } else {
+      EXPECT_EQ(hw, sw) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Half, RelativeErrorBound) {
+  // |round(x) - x| <= 2^-11 * |x| for normal-range values.
+  Rng rng(13);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = rng.uniform(-1000.0f, 1000.0f);
+    if (std::abs(f) < 6.2e-5f) continue;
+    const float r = static_cast<float>(fp16_t(f));
+    EXPECT_LE(std::abs(r - f), std::ldexp(1.0f, -11) * std::abs(f));
+  }
+}
+
+TEST(Half, AccTypeMapping) {
+  static_assert(std::is_same_v<acc_t<fp16_t>, float>);
+  static_assert(std::is_same_v<acc_t<float>, float>);
+  static_assert(std::is_same_v<acc_t<double>, double>);
+}
+
+TEST(Half, RowConversionMatchesScalar) {
+  Rng rng(3);
+  for (int n : {0, 1, 7, 8, 9, 64, 100}) {
+    std::vector<fp16_t> src(static_cast<std::size_t>(n));
+    for (auto& v : src) v = fp16_t(rng.normal());
+    std::vector<float> dst(static_cast<std::size_t>(n), -1.0f);
+    convert_row_f32(src.data(), dst.data(), n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(i)],
+                static_cast<float>(src[static_cast<std::size_t>(i)]));
+    }
+  }
+}
+
+TEST(Half, RowNarrowingMatchesScalar) {
+  Rng rng(4);
+  for (int n : {1, 8, 15, 64}) {
+    std::vector<float> src(static_cast<std::size_t>(n));
+    for (auto& v : src) v = rng.normal();
+    std::vector<fp16_t> dst(static_cast<std::size_t>(n));
+    convert_row_from_f32(src.data(), dst.data(), n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(i)].bits(),
+                fp16_t(src[static_cast<std::size_t>(i)]).bits());
+    }
+  }
+}
+
+TEST(Half, DotProduct) {
+  std::vector<float> a{1, 2, 3, 4, 5};
+  std::vector<float> b{5, 4, 3, 2, 1};
+  EXPECT_FLOAT_EQ(dot_f32(a.data(), b.data(), 5), 35.0f);
+  EXPECT_FLOAT_EQ(dot_f32(a.data(), b.data(), 0), 0.0f);
+  EXPECT_FLOAT_EQ(dot_f32(a.data(), b.data(), 4), 30.0f);
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,173 @@
+// LayerNorm kernels: fused == unfused == FP64 reference; statistical
+// properties of the normalized output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/layernorm.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+#include "test_utils.h"
+
+namespace bt::kernels {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+class LayerNormSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LayerNormSizes, FusedMatchesUnfused) {
+  const auto [rows, hidden] = GetParam();
+  Rng rng(81);
+  auto x = Tensor<fp16_t>::random_normal({rows, hidden}, rng);
+  auto residual = Tensor<fp16_t>::random_normal({rows, hidden}, rng);
+  auto bias = Tensor<fp16_t>::random_normal({hidden}, rng);
+  auto gamma = Tensor<float>::random_normal({hidden}, rng, 0.3f);
+  auto beta = Tensor<float>::random_normal({hidden}, rng, 0.3f);
+  for (std::int64_t j = 0; j < hidden; ++j) gamma(j) += 1.0f;
+
+  auto fused = Tensor<fp16_t>::zeros({rows, hidden});
+  add_bias_residual_layernorm(dev(), fused.data(), x.data(), residual.data(),
+                              bias.data(), gamma.data(), beta.data(), rows,
+                              hidden);
+
+  auto staged = x.clone();
+  auto unfused = Tensor<fp16_t>::zeros({rows, hidden});
+  add_bias_residual(dev(), staged.data(), residual.data(), bias.data(), rows,
+                    hidden);
+  layernorm(dev(), unfused.data(), staged.data(), gamma.data(), beta.data(),
+            rows, hidden);
+
+  // Unfused path rounds the intermediate sum to FP16; allow that ulp.
+  EXPECT_LT(max_abs_diff(fused, unfused), 2e-2);
+}
+
+TEST_P(LayerNormSizes, FusedMatchesReference) {
+  const auto [rows, hidden] = GetParam();
+  Rng rng(82);
+  auto x = Tensor<fp16_t>::random_normal({rows, hidden}, rng);
+  auto residual = Tensor<fp16_t>::random_normal({rows, hidden}, rng);
+  auto bias = Tensor<fp16_t>::random_normal({hidden}, rng);
+  auto gamma = Tensor<float>({hidden});
+  gamma.fill(1.0f);
+  auto beta = Tensor<float>::zeros({hidden});
+
+  auto out = Tensor<fp16_t>::zeros({rows, hidden});
+  add_bias_residual_layernorm(dev(), out.data(), x.data(), residual.data(),
+                              bias.data(), gamma.data(), beta.data(), rows,
+                              hidden);
+
+  std::vector<double> want;
+  test::ref_add_bias_residual_layernorm(
+      test::to_f64(x), test::to_f64(residual), test::to_f64(bias),
+      test::to_f64(gamma), test::to_f64(beta), want, rows, hidden);
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(load_f32(out.data()[i]), want[static_cast<std::size_t>(i)], 1e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LayerNormSizes,
+                         ::testing::Values(std::pair{1, 8}, std::pair{3, 64},
+                                           std::pair{17, 128},
+                                           std::pair{64, 256},
+                                           std::pair{5, 768},
+                                           std::pair{2, 1024}));
+
+TEST(LayerNorm, OutputHasZeroMeanUnitVariance) {
+  const int rows = 10;
+  const int hidden = 512;
+  Rng rng(83);
+  auto x = Tensor<fp16_t>::random_normal({rows, hidden}, rng, 5.0f);
+  auto gamma = Tensor<float>({hidden});
+  gamma.fill(1.0f);
+  auto beta = Tensor<float>::zeros({hidden});
+  auto out = Tensor<fp16_t>::zeros({rows, hidden});
+  layernorm(dev(), out.data(), x.data(), gamma.data(), beta.data(), rows,
+            hidden);
+  for (int r = 0; r < rows; ++r) {
+    double mean = 0;
+    for (int j = 0; j < hidden; ++j) mean += load_f32(out(r, j));
+    mean /= hidden;
+    double var = 0;
+    for (int j = 0; j < hidden; ++j) {
+      const double d = load_f32(out(r, j)) - mean;
+      var += d * d;
+    }
+    var /= hidden;
+    EXPECT_NEAR(mean, 0.0, 1e-2);
+    EXPECT_NEAR(var, 1.0, 3e-2);
+  }
+}
+
+TEST(LayerNorm, GammaBetaAffineApplied) {
+  const int hidden = 64;
+  Rng rng(84);
+  auto x = Tensor<fp16_t>::random_normal({1, hidden}, rng);
+  auto gamma = Tensor<float>({hidden});
+  gamma.fill(2.0f);
+  auto beta = Tensor<float>({hidden});
+  beta.fill(3.0f);
+  auto base_out = Tensor<fp16_t>::zeros({1, hidden});
+  auto affine_out = Tensor<fp16_t>::zeros({1, hidden});
+  auto unit_gamma = Tensor<float>({hidden});
+  unit_gamma.fill(1.0f);
+  auto zero_beta = Tensor<float>::zeros({hidden});
+  layernorm(dev(), base_out.data(), x.data(), unit_gamma.data(),
+            zero_beta.data(), 1, hidden);
+  layernorm(dev(), affine_out.data(), x.data(), gamma.data(), beta.data(), 1,
+            hidden);
+  for (int j = 0; j < hidden; ++j) {
+    EXPECT_NEAR(load_f32(affine_out(0, j)),
+                2.0f * load_f32(base_out(0, j)) + 3.0f, 2e-2);
+  }
+}
+
+TEST(LayerNorm, ConstantRowIsStable) {
+  // Zero variance: eps must prevent division blowup.
+  const int hidden = 32;
+  auto x = Tensor<fp16_t>({1, hidden});
+  x.fill(fp16_t(4.0f));
+  auto gamma = Tensor<float>({hidden});
+  gamma.fill(1.0f);
+  auto beta = Tensor<float>::zeros({hidden});
+  auto out = Tensor<fp16_t>::zeros({1, hidden});
+  layernorm(dev(), out.data(), x.data(), gamma.data(), beta.data(), 1, hidden);
+  for (int j = 0; j < hidden; ++j) {
+    const float v = load_f32(out(0, j));
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_NEAR(v, 0.0f, 1e-3);
+  }
+}
+
+TEST(LayerNorm, Fp32PathMatchesFp16Closely) {
+  const int rows = 4;
+  const int hidden = 96;
+  Rng rng(85);
+  auto xf = Tensor<float>::random_normal({rows, hidden}, rng);
+  auto rf = Tensor<float>::random_normal({rows, hidden}, rng);
+  auto bf = Tensor<float>::random_normal({hidden}, rng);
+  auto gamma = Tensor<float>({hidden});
+  gamma.fill(1.0f);
+  auto beta = Tensor<float>::zeros({hidden});
+
+  auto xh = xf.cast<fp16_t>();
+  auto rh = rf.cast<fp16_t>();
+  auto bh = bf.cast<fp16_t>();
+  auto outf = Tensor<float>::zeros({rows, hidden});
+  auto outh = Tensor<fp16_t>::zeros({rows, hidden});
+  add_bias_residual_layernorm(dev(), outf.data(), xf.data(), rf.data(),
+                              bf.data(), gamma.data(), beta.data(), rows,
+                              hidden);
+  add_bias_residual_layernorm(dev(), outh.data(), xh.data(), rh.data(),
+                              bh.data(), gamma.data(), beta.data(), rows,
+                              hidden);
+  EXPECT_LT(max_abs_diff(outf, outh), 5e-3);
+}
+
+}  // namespace
+}  // namespace bt::kernels

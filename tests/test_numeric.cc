@@ -1,0 +1,136 @@
+// Scalar numeric helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/numeric.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace bt {
+namespace {
+
+TEST(Numeric, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(1023, 64), 16);
+  EXPECT_EQ(ceil_div(1024, 64), 16);
+  EXPECT_EQ(ceil_div(1025, 64), 17);
+}
+
+TEST(Numeric, RoundUp) {
+  EXPECT_EQ(round_up(0, 64), 0);
+  EXPECT_EQ(round_up(1, 64), 64);
+  EXPECT_EQ(round_up(64, 64), 64);
+  EXPECT_EQ(round_up(65, 64), 128);
+}
+
+TEST(Numeric, FastTanhMatchesLibm) {
+  for (float x = -10.0f; x <= 10.0f; x += 0.001f) {
+    EXPECT_NEAR(fast_tanh(x), std::tanh(x), 2e-4) << "x=" << x;
+  }
+  EXPECT_EQ(fast_tanh(0.0f), 0.0f);
+  EXPECT_NEAR(fast_tanh(100.0f), 1.0f, 2e-4);
+  EXPECT_NEAR(fast_tanh(-100.0f), -1.0f, 2e-4);
+}
+
+TEST(Numeric, GeluTanhMatchesErfClosely) {
+  // The tanh approximation tracks exact GELU to ~1e-3 over the active range.
+  for (float x = -6.0f; x <= 6.0f; x += 0.01f) {
+    const double exact = gelu_erf(x);
+    EXPECT_NEAR(gelu_tanh(x), exact, 3e-3) << "x=" << x;
+  }
+}
+
+TEST(Numeric, GeluFixedPoints) {
+  EXPECT_FLOAT_EQ(gelu_tanh(0.0f), 0.0f);
+  EXPECT_NEAR(gelu_tanh(1.0f), 0.8412f, 1e-3);
+  EXPECT_NEAR(gelu_tanh(-1.0f), -0.1588f, 1e-3);
+  // Saturation: gelu(x) -> x for large x, -> 0 for very negative x.
+  EXPECT_NEAR(gelu_tanh(10.0f), 10.0f, 1e-4);
+  EXPECT_NEAR(gelu_tanh(-10.0f), 0.0f, 1e-4);
+}
+
+TEST(Numeric, SoftmaxScale) {
+  EXPECT_FLOAT_EQ(softmax_scale(64), 0.125f);
+  EXPECT_FLOAT_EQ(softmax_scale(4), 0.5f);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.normal(), b.normal());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.normal() == b.normal()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.uniform_int(3, 17);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, FillNormalStats) {
+  Rng rng(9);
+  std::vector<float> v(100000);
+  rng.fill_normal(std::span<float>(v), 2.0f, 3.0f);
+  double mean = 0;
+  for (float x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0;
+  for (float x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 10.0);
+}
+
+TEST(StageTimes, AccumulatesByName) {
+  StageTimes times;
+  times.add("a", 1.0);
+  times.add("b", 2.0);
+  times.add("a", 0.5);
+  EXPECT_DOUBLE_EQ(times.stages().at("a"), 1.5);
+  EXPECT_DOUBLE_EQ(times.stages().at("b"), 2.0);
+  EXPECT_DOUBLE_EQ(times.total_seconds(), 3.5);
+  times.clear();
+  EXPECT_TRUE(times.stages().empty());
+}
+
+TEST(StageTimes, ScopeAttributesOnDestruction) {
+  StageTimes times;
+  {
+    StageScope scope(&times, "stage");
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  }
+  EXPECT_GT(times.stages().at("stage"), 0.0);
+  // Null sink is a no-op.
+  { StageScope scope(nullptr, "ignored"); }
+  EXPECT_EQ(times.stages().count("ignored"), 0u);
+}
+
+}  // namespace
+}  // namespace bt

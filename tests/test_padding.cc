@@ -1,0 +1,176 @@
+// The zero-padding algorithm: prefix sums, offset mappings, pack/unpack.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/padding.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+
+namespace bt::core {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+TEST(SeqOffsets, PaperFigure4Example) {
+  // Fig. 4: three sentences of lengths 5, 2, 4 (longest 5).
+  const std::vector<int> lens{5, 2, 4};
+  const SeqOffsets off = build_seq_offsets(dev(), lens, 5);
+  EXPECT_EQ(off.valid_count, 11);
+  EXPECT_EQ(off.batch_offset[0], 0);
+  EXPECT_EQ(off.batch_offset[1], 5);
+  EXPECT_EQ(off.batch_offset[2], 7);
+  EXPECT_EQ(off.batch_offset[3], 11);
+  // Packed token 5 is sentence 1 position 0 => padded row 1*5+0.
+  EXPECT_EQ(off.packed_to_padded[5], 5);
+  // Packed token 7 is sentence 2 position 0 => padded row 2*5+0 = 10.
+  EXPECT_EQ(off.packed_to_padded[7], 10);
+  // Padding cell (1, 3) maps to -1.
+  EXPECT_EQ(off.padded_to_packed[1 * 5 + 3], -1);
+  EXPECT_DOUBLE_EQ(off.fill_ratio(), 11.0 / 15.0);
+}
+
+TEST(SeqOffsets, MappingIsBijective) {
+  Rng rng(101);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int batch = rng.uniform_int(1, 8);
+    const int max_seq = rng.uniform_int(1, 40);
+    std::vector<int> lens(static_cast<std::size_t>(batch));
+    for (int& l : lens) l = rng.uniform_int(1, max_seq);
+    const SeqOffsets off = build_seq_offsets(dev(), lens, max_seq);
+
+    std::set<std::int32_t> seen;
+    for (std::int64_t v = 0; v < off.valid_count; ++v) {
+      const std::int32_t p = off.packed_to_padded[static_cast<std::size_t>(v)];
+      EXPECT_TRUE(seen.insert(p).second);
+      EXPECT_EQ(off.padded_to_packed[static_cast<std::size_t>(p)], v);
+    }
+    // Inverse: every -1 cell is genuinely padding.
+    std::int64_t pad_cells = 0;
+    for (std::size_t p = 0; p < off.padded_to_packed.size(); ++p) {
+      if (off.padded_to_packed[p] == -1) {
+        ++pad_cells;
+      }
+    }
+    EXPECT_EQ(pad_cells + off.valid_count,
+              static_cast<std::int64_t>(batch) * max_seq);
+  }
+}
+
+TEST(SeqOffsets, OffsetsAreMonotone) {
+  const std::vector<int> lens{3, 1, 7, 2};
+  const SeqOffsets off = build_seq_offsets(dev(), lens, 8);
+  for (std::size_t b = 0; b + 1 < off.batch_offset.size(); ++b) {
+    EXPECT_LT(off.batch_offset[b], off.batch_offset[b + 1]);
+  }
+  for (std::int64_t v = 1; v < off.valid_count; ++v) {
+    EXPECT_LT(off.packed_to_padded[static_cast<std::size_t>(v) - 1],
+              off.packed_to_padded[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(SeqOffsets, FromMaskMatchesFromLengths) {
+  const std::vector<int> lens{4, 2, 6};
+  const int max_seq = 6;
+  std::vector<std::uint8_t> mask(3 * 6, 0);
+  for (int b = 0; b < 3; ++b) {
+    for (int s = 0; s < lens[static_cast<std::size_t>(b)]; ++s) {
+      mask[static_cast<std::size_t>(b * 6 + s)] = 1;
+    }
+  }
+  const SeqOffsets a = build_seq_offsets(dev(), lens, max_seq);
+  const SeqOffsets m = build_seq_offsets_from_mask(dev(), mask, 3, max_seq);
+  EXPECT_EQ(a.valid_count, m.valid_count);
+  EXPECT_EQ(a.packed_to_padded, m.packed_to_padded);
+  EXPECT_EQ(a.padded_to_packed, m.padded_to_packed);
+  EXPECT_EQ(a.seq_lens, m.seq_lens);
+}
+
+TEST(SeqOffsets, NonPrefixMaskSupported) {
+  // Holes in the middle (general Fig. 4 mask formulation).
+  std::vector<std::uint8_t> mask{1, 0, 1, 1,   // row 0: 3 valid
+                                 0, 0, 0, 1};  // row 1: 1 valid
+  const SeqOffsets off = build_seq_offsets_from_mask(dev(), mask, 2, 4);
+  EXPECT_EQ(off.valid_count, 4);
+  EXPECT_EQ(off.seq_lens[0], 3);
+  EXPECT_EQ(off.seq_lens[1], 1);
+  EXPECT_EQ(off.packed_to_padded[0], 0);
+  EXPECT_EQ(off.packed_to_padded[1], 2);
+  EXPECT_EQ(off.packed_to_padded[2], 3);
+  EXPECT_EQ(off.packed_to_padded[3], 7);
+  EXPECT_EQ(off.padded_to_packed[1], -1);
+}
+
+TEST(Padding, PackUnpackRoundTrip) {
+  Rng rng(102);
+  const std::vector<int> lens{5, 1, 3};
+  const int max_seq = 5;
+  const int hidden = 16;
+  const SeqOffsets off = build_seq_offsets(dev(), lens, max_seq);
+
+  auto padded = Tensor<fp16_t>::zeros({3 * max_seq, hidden});
+  for (std::int64_t v = 0; v < off.valid_count; ++v) {
+    const std::int64_t r = off.packed_to_padded[static_cast<std::size_t>(v)];
+    for (int j = 0; j < hidden; ++j) padded(r, j) = fp16_t(rng.normal());
+  }
+
+  auto packed = Tensor<fp16_t>::zeros({off.valid_count, hidden});
+  pack_rows(dev(), padded.data(), packed.data(), off, hidden);
+  auto rebuilt = Tensor<fp16_t>({3 * max_seq, hidden});
+  rebuilt.fill(fp16_t(99.0f));  // garbage that unpack must clear
+  unpack_rows(dev(), packed.data(), rebuilt.data(), off, hidden);
+
+  EXPECT_EQ(max_abs_diff(padded, rebuilt), 0.0);
+}
+
+TEST(Padding, UnpackZeroFillsPaddingRows) {
+  const std::vector<int> lens{2};
+  const SeqOffsets off = build_seq_offsets(dev(), lens, 4);
+  auto packed = Tensor<fp16_t>({2, 3});
+  packed.fill(fp16_t(1.0f));
+  auto padded = Tensor<fp16_t>({4, 3});
+  padded.fill(fp16_t(-5.0f));
+  unpack_rows(dev(), packed.data(), padded.data(), off, 3);
+  for (int r = 2; r < 4; ++r) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(load_f32(padded(r, j)), 0.0f);
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(load_f32(padded(r, j)), 1.0f);
+    }
+  }
+}
+
+TEST(Padding, PackGathersValidRowsInOrder) {
+  const std::vector<int> lens{1, 2};
+  const SeqOffsets off = build_seq_offsets(dev(), lens, 3);
+  auto padded = Tensor<float>::zeros({6, 1});
+  for (int r = 0; r < 6; ++r) padded(r, 0) = static_cast<float>(r);
+  auto packed = Tensor<float>::zeros({3, 1});
+  pack_rows(dev(), padded.data(), packed.data(), off, 1);
+  EXPECT_EQ(packed(0, 0), 0.0f);  // batch 0 pos 0 = padded row 0
+  EXPECT_EQ(packed(1, 0), 3.0f);  // batch 1 pos 0 = padded row 3
+  EXPECT_EQ(packed(2, 0), 4.0f);  // batch 1 pos 1 = padded row 4
+}
+
+TEST(Padding, FullLengthBatchIsIdentity) {
+  Rng rng(103);
+  const std::vector<int> lens{4, 4};
+  const SeqOffsets off = build_seq_offsets(dev(), lens, 4);
+  EXPECT_EQ(off.valid_count, 8);
+  EXPECT_DOUBLE_EQ(off.fill_ratio(), 1.0);
+  auto padded = Tensor<fp16_t>::random_normal({8, 5}, rng);
+  auto packed = Tensor<fp16_t>::zeros({8, 5});
+  pack_rows(dev(), padded.data(), packed.data(), off, 5);
+  EXPECT_EQ(max_abs_diff(padded, packed), 0.0);
+}
+
+}  // namespace
+}  // namespace bt::core

@@ -1,0 +1,101 @@
+// Request generation and batching policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "serving/batching.h"
+#include "serving/request_gen.h"
+
+namespace bt::serving {
+namespace {
+
+TEST(RequestGen, LengthsWithinBounds) {
+  Rng rng(201);
+  for (double alpha : {0.1, 0.3, 0.5, 0.6, 0.9, 1.0}) {
+    const auto lens = gen_lengths(1000, 128, alpha, rng);
+    for (int l : lens) {
+      EXPECT_GE(l, 1);
+      EXPECT_LE(l, 128);
+    }
+  }
+}
+
+TEST(RequestGen, MeanTracksAlpha) {
+  Rng rng(202);
+  for (double alpha : {0.2, 0.4, 0.6, 0.8}) {
+    const auto lens = gen_lengths(20000, 256, alpha, rng);
+    double mean = 0;
+    for (int l : lens) mean += l;
+    mean /= static_cast<double>(lens.size());
+    EXPECT_NEAR(mean / 256.0, alpha, 0.03) << "alpha=" << alpha;
+  }
+}
+
+TEST(RequestGen, AlphaOneIsAllMax) {
+  Rng rng(203);
+  const auto lens = gen_lengths(100, 64, 1.0, rng);
+  for (int l : lens) EXPECT_EQ(l, 64);
+}
+
+TEST(RequestGen, ArrivalsAreMonotone) {
+  Rng rng(204);
+  const auto t = gen_arrivals(500, 100.0, rng);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i], t[i - 1]);
+  }
+  // Mean inter-arrival ~ 1/rate.
+  EXPECT_NEAR(t.back() / 500.0, 0.01, 0.004);
+}
+
+TEST(Batching, GroupsRespectSizeAndOrder) {
+  const std::vector<int> lens{5, 30, 12, 64, 8, 40, 22, 3};
+  const auto groups = group_by_length(lens, 3);
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].indices.size(), 3u);
+  EXPECT_EQ(groups[2].indices.size(), 2u);
+  // First group holds the longest requests; its pad target is the global max.
+  EXPECT_EQ(groups[0].max_len, 64);
+  // Groups are sorted descending: later groups have smaller pad targets.
+  EXPECT_GE(groups[0].max_len, groups[1].max_len);
+  EXPECT_GE(groups[1].max_len, groups[2].max_len);
+  // Every index appears exactly once.
+  std::vector<int> all;
+  for (const auto& g : groups) {
+    all.insert(all.end(), g.indices.begin(), g.indices.end());
+  }
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Batching, GroupSizeZeroMeansPadToMax) {
+  const std::vector<int> lens{5, 30, 12};
+  const auto groups = group_by_length(lens, 0);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].max_len, 30);
+  EXPECT_EQ(padded_tokens(groups, lens), 3 * 30);
+}
+
+TEST(Batching, GroupingReducesPaddedTokens) {
+  Rng rng(205);
+  const auto lens = gen_lengths(64, 512, 0.5, rng);
+  const auto one = group_by_length(lens, 0);
+  const auto grouped = group_by_length(lens, 8);
+  long long valid = 0;
+  for (int l : lens) valid += l;
+  EXPECT_LT(padded_tokens(grouped, lens), padded_tokens(one, lens));
+  // But grouping never reaches the packed (zero-waste) level for non-uniform
+  // lengths.
+  EXPECT_GT(padded_tokens(grouped, lens), valid);
+}
+
+TEST(Batching, SingleRequestGroup) {
+  const std::vector<int> lens{17};
+  const auto groups = group_by_length(lens, 4);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].max_len, 17);
+  EXPECT_EQ(padded_tokens(groups, lens), 17);
+}
+
+}  // namespace
+}  // namespace bt::serving

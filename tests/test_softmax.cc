@@ -1,0 +1,159 @@
+// Softmax kernels: full (framework-masked) vs zero-padding variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/softmax.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+
+namespace bt::kernels {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+// FP64 reference softmax over the valid prefix of one row.
+std::vector<double> ref_softmax_row(const std::vector<double>& row, int len) {
+  double mx = -INFINITY;
+  for (int j = 0; j < len; ++j) mx = std::max(mx, row[static_cast<std::size_t>(j)]);
+  double sum = 0;
+  std::vector<double> out(row.size(), 0.0);
+  for (int j = 0; j < len; ++j) {
+    out[static_cast<std::size_t>(j)] = std::exp(row[static_cast<std::size_t>(j)] - mx);
+    sum += out[static_cast<std::size_t>(j)];
+  }
+  for (int j = 0; j < len; ++j) out[static_cast<std::size_t>(j)] /= sum;
+  return out;
+}
+
+struct Case {
+  int batch;
+  int heads;
+  int max_seq;
+  std::vector<int> lens;
+};
+
+class SoftmaxVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SoftmaxVariants, BothVariantsMatchReferenceOnValidRows) {
+  const Case& c = GetParam();
+  Rng rng(71);
+  const std::int64_t sz =
+      static_cast<std::int64_t>(c.batch) * c.heads * c.max_seq * c.max_seq;
+  auto full = Tensor<fp16_t>::random_normal({sz}, rng, 2.0f);
+  auto zp = full.clone();
+
+  softmax_full(dev(), full.data(), c.batch, c.heads, c.max_seq, c.lens);
+  softmax_zeropad(dev(), zp.data(), c.batch, c.heads, c.max_seq, c.lens);
+
+  for (int b = 0; b < c.batch; ++b) {
+    const int len = c.lens[static_cast<std::size_t>(b)];
+    for (int h = 0; h < c.heads; ++h) {
+      for (int i = 0; i < len; ++i) {  // valid rows only
+        const std::int64_t base =
+            ((static_cast<std::int64_t>(b) * c.heads + h) * c.max_seq + i) *
+            c.max_seq;
+        // Rebuild the pre-softmax row from the clone's source values is not
+        // possible post hoc; instead compare variants to each other and
+        // check distribution properties.
+        double sum_full = 0;
+        double sum_zp = 0;
+        for (int j = 0; j < len; ++j) {
+          const double pf = load_f32(full.data()[base + j]);
+          const double pz = load_f32(zp.data()[base + j]);
+          EXPECT_NEAR(pf, pz, 2e-3) << "b=" << b << " i=" << i << " j=" << j;
+          EXPECT_GE(pf, 0.0);
+          sum_full += pf;
+          sum_zp += pz;
+        }
+        EXPECT_NEAR(sum_full, 1.0, 5e-2);  // FP16 storage rounding
+        EXPECT_NEAR(sum_zp, 1.0, 5e-2);
+        // Padded columns: zero-pad variant writes exact zeros; full variant
+        // leaves ~exp(-1e4) == 0 after masking.
+        for (int j = len; j < c.max_seq; ++j) {
+          EXPECT_EQ(load_f32(zp.data()[base + j]), 0.0f);
+          EXPECT_LT(load_f32(full.data()[base + j]), 1e-6f);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SoftmaxVariants,
+    ::testing::Values(Case{1, 1, 8, {8}}, Case{1, 1, 8, {1}},
+                      Case{2, 3, 16, {9, 16}}, Case{3, 2, 33, {1, 17, 33}},
+                      Case{4, 2, 64, {3, 64, 31, 50}}));
+
+TEST(Softmax, MatchesReferenceExactly) {
+  // FP32 path against the FP64 reference (no storage rounding).
+  const int s = 40;
+  Rng rng(72);
+  std::vector<double> src(static_cast<std::size_t>(s));
+  auto t = Tensor<float>({1 * 1 * s * static_cast<std::int64_t>(s)});
+  rng.fill_normal(t.view(), 0.0f, 3.0f);
+  const std::vector<int> lens{29};
+  auto rows = t.clone();
+  softmax_zeropad(dev(), rows.data(), 1, 1, s, lens);
+  for (int i = 0; i < 29; ++i) {
+    for (int j = 0; j < s; ++j) {
+      src[static_cast<std::size_t>(j)] = t.data()[i * s + j];
+    }
+    const auto want = ref_softmax_row(src, 29);
+    for (int j = 0; j < 29; ++j) {
+      EXPECT_NEAR(rows.data()[i * s + j], want[static_cast<std::size_t>(j)], 1e-6);
+    }
+  }
+}
+
+TEST(Softmax, NumericalStabilityWithLargeValues) {
+  // Values near the FP16 max must not produce NaN/Inf (max-subtraction).
+  const int s = 16;
+  auto t = Tensor<fp16_t>({static_cast<std::int64_t>(s) * s});
+  for (int i = 0; i < s * s; ++i) t.data()[i] = fp16_t(60000.0f);
+  const std::vector<int> lens{s};
+  softmax_full(dev(), t.data(), 1, 1, s, lens);
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j < s; ++j) {
+      const float v = load_f32(t.data()[i * s + j]);
+      EXPECT_FALSE(std::isnan(v));
+      EXPECT_NEAR(v, 1.0f / s, 1e-3);
+    }
+  }
+}
+
+TEST(Softmax, UniformInputGivesUniformDistribution) {
+  const int s = 32;
+  const int len = 20;
+  auto t = Tensor<fp16_t>({static_cast<std::int64_t>(s) * s});
+  t.fill(fp16_t(0.7f));
+  const std::vector<int> lens{len};
+  softmax_zeropad(dev(), t.data(), 1, 1, s, lens);
+  for (int j = 0; j < len; ++j) {
+    EXPECT_NEAR(load_f32(t.data()[j]), 1.0f / len, 1e-3);
+  }
+}
+
+TEST(Softmax, ZeroPadTouchesOnlyValidRows) {
+  // Pad rows (i >= len) must be left untouched by the zero-padding variant —
+  // that is precisely the work it skips.
+  const int s = 24;
+  const int len = 10;
+  auto t = Tensor<fp16_t>({static_cast<std::int64_t>(s) * s});
+  t.fill(fp16_t(5.0f));
+  const std::vector<int> lens{len};
+  softmax_zeropad(dev(), t.data(), 1, 1, s, lens);
+  for (int i = len; i < s; ++i) {
+    for (int j = 0; j < s; ++j) {
+      EXPECT_EQ(load_f32(t.data()[i * s + j]), 5.0f) << "row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bt::kernels

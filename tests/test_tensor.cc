@@ -1,0 +1,128 @@
+// Tensor container semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace bt {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor<float> t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_EQ(t.size(), 24);
+}
+
+TEST(Tensor, EmptyTensor) {
+  Tensor<float> t;
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.rank(), 0);
+  Tensor<float> z({0, 5});
+  EXPECT_EQ(z.size(), 0);
+}
+
+TEST(Tensor, DataIsCacheLineAligned) {
+  for (int i = 0; i < 8; ++i) {
+    Tensor<fp16_t> t({17 + i});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % kCacheLine, 0u);
+  }
+}
+
+TEST(Tensor, ZerosAndFill) {
+  auto t = Tensor<float>::zeros({5, 5});
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t(i), 0.0f);
+  t.fill(3.5f);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t(i), 3.5f);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor<float> t({2, 3});
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      t(i, j) = static_cast<float>(i * 10 + j);
+    }
+  }
+  EXPECT_EQ(t.data()[0], 0.0f);
+  EXPECT_EQ(t.data()[1], 1.0f);
+  EXPECT_EQ(t.data()[3], 10.0f);
+  EXPECT_EQ(t(1, 2), 12.0f);
+}
+
+TEST(Tensor, FourDIndexing) {
+  Tensor<int> t({2, 3, 4, 5});
+  t(1, 2, 3, 4) = 99;
+  EXPECT_EQ(t.data()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 99);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  auto t = Tensor<float>::zeros({4});
+  auto c = t.clone();
+  c(0) = 1.0f;
+  EXPECT_EQ(t(0), 0.0f);
+  EXPECT_EQ(c(0), 1.0f);
+}
+
+TEST(Tensor, CastRoundsToFp16) {
+  Tensor<float> t({3});
+  t(0) = 1.0f;
+  t(1) = 0.1f;  // not exactly representable
+  t(2) = -2.5f;
+  auto h = t.cast<fp16_t>();
+  EXPECT_EQ(static_cast<float>(h(0)), 1.0f);
+  EXPECT_NEAR(static_cast<float>(h(1)), 0.1f, 1e-4);
+  EXPECT_EQ(static_cast<float>(h(2)), -2.5f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor<float> t({2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t(i / 6, i % 6) = static_cast<float>(i);
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t(2, 3), 11.0f);
+}
+
+TEST(Tensor, RandomNormalIsSeeded) {
+  Rng a(11);
+  Rng b(11);
+  auto x = Tensor<float>::random_normal({100}, a);
+  auto y = Tensor<float>::random_normal({100}, b);
+  EXPECT_EQ(max_abs_diff(x, y), 0.0);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor<float> a({3});
+  Tensor<float> b({3});
+  a(0) = 1;
+  a(1) = 2;
+  a(2) = 3;
+  b(0) = 1;
+  b(1) = 2.5f;
+  b(2) = 2;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+TEST(Tensor, MaxAbsDiffMixedTypes) {
+  Tensor<float> a({2});
+  a(0) = 1.0f;
+  a(1) = 2.0f;
+  auto h = a.cast<fp16_t>();
+  EXPECT_EQ(max_abs_diff(a, h), 0.0);
+}
+
+TEST(Tensor, MoveTransfersOwnership) {
+  Tensor<float> a({4});
+  a.fill(7.0f);
+  const float* p = a.data();
+  Tensor<float> b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b(3), 7.0f);
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,120 @@
+// ThreadPool: dynamic chunked scheduling correctness under stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace bt::par {
+namespace {
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.size(), 4);
+}
+
+TEST(ThreadPool, EveryTaskRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kTasks = 10000;
+  std::vector<std::atomic<int>> counts(kTasks);
+  pool.run(kTasks, /*chunk=*/7, [&](std::int64_t i, int) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, WorkerIndicesInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  pool.run(1000, 1, [&](std::int64_t, int worker) {
+    if (worker < 0 || worker >= 3) bad = true;
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPool, SingleTaskRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> n{0};
+  pool.run(1, 1, [&](std::int64_t i, int worker) {
+    EXPECT_EQ(i, 0);
+    EXPECT_EQ(worker, 0);
+    ++n;
+  });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.run(0, 1, [&](std::int64_t, int) { ++n; });
+  EXPECT_EQ(n.load(), 0);
+}
+
+TEST(ThreadPool, SingleThreadedPoolWorks) {
+  ThreadPool pool(1);
+  std::int64_t sum = 0;
+  pool.run(100, 10, [&](std::int64_t i, int) { sum += i; });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, LargeChunkLargerThanTasks) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(10);
+  pool.run(10, /*chunk=*/1000, [&](std::int64_t i, int) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(500);
+  pool.parallel_for(100, 600, 16, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i - 100)].fetch_add(1);
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.parallel_for(5, 5, 1, [&](std::int64_t) { ++n; });
+  pool.parallel_for(5, 3, 1, [&](std::int64_t) { ++n; });
+  EXPECT_EQ(n.load(), 0);
+}
+
+TEST(ThreadPool, ManyConsecutiveRunsStress) {
+  // Exercises the straggler/epoch handoff: rapid-fire jobs of tiny sizes.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::atomic<std::int64_t> sum{0};
+    const std::int64_t n = 1 + iter % 17;
+    pool.run(n, 2, [&](std::int64_t i, int) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "iter " << iter;
+  }
+}
+
+TEST(ThreadPool, ResultsAreOrderIndependent) {
+  ThreadPool pool(4);
+  std::vector<double> out(4096, 0.0);
+  pool.run(4096, 3, [&](std::int64_t i, int) {
+    out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.5;
+  });
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1);
+}
+
+}  // namespace
+}  // namespace bt::par

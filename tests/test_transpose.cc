@@ -1,0 +1,182 @@
+// Head split/merge kernels with fused bias and pad/unpad.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/transpose.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+
+namespace bt::kernels {
+namespace {
+
+par::Device& dev() {
+  static par::Device d(2);
+  return d;
+}
+
+constexpr int kHeads = 3;
+constexpr int kHd = 8;
+constexpr int kHidden = kHeads * kHd;
+
+TEST(Transpose, SplitPaddedLayoutAndBias) {
+  const int batch = 2;
+  const int s = 4;
+  Rng rng(111);
+  auto qkv = Tensor<fp16_t>::random_normal({batch * s, 3 * kHidden}, rng);
+  auto bias = Tensor<fp16_t>::random_normal({3 * kHidden}, rng);
+  auto q = Tensor<fp16_t>::zeros({batch, kHeads, s, kHd});
+  auto k = Tensor<fp16_t>::zeros({batch, kHeads, s, kHd});
+  auto v = Tensor<fp16_t>::zeros({batch, kHeads, s, kHd});
+  split_qkv_add_bias_padded(dev(), qkv.data(), bias.data(), q.data(),
+                            k.data(), v.data(), batch, s, kHeads, kHd);
+  for (int b = 0; b < batch; ++b) {
+    for (int si = 0; si < s; ++si) {
+      for (int h = 0; h < kHeads; ++h) {
+        for (int d = 0; d < kHd; ++d) {
+          const int col = h * kHd + d;
+          const std::int64_t t = b * s + si;
+          EXPECT_NEAR(load_f32(q(b, h, si, d)),
+                      load_f32(qkv(t, 0 * kHidden + col)) +
+                          load_f32(bias(0 * kHidden + col)),
+                      2e-3);
+          EXPECT_NEAR(load_f32(k(b, h, si, d)),
+                      load_f32(qkv(t, 1 * kHidden + col)) +
+                          load_f32(bias(1 * kHidden + col)),
+                      2e-3);
+          EXPECT_NEAR(load_f32(v(b, h, si, d)),
+                      load_f32(qkv(t, 2 * kHidden + col)) +
+                          load_f32(bias(2 * kHidden + col)),
+                      2e-3);
+        }
+      }
+    }
+  }
+}
+
+TEST(Transpose, RebuildPaddingZeroFillsAndScatters) {
+  const std::vector<int> lens{2, 3};
+  const int s = 3;
+  const core::SeqOffsets off = core::build_seq_offsets(dev(), lens, s);
+  Rng rng(112);
+  auto qkv = Tensor<fp16_t>::random_normal({off.valid_count, 3 * kHidden}, rng);
+  auto bias = Tensor<fp16_t>::zeros({3 * kHidden});
+  auto q = Tensor<fp16_t>({2, kHeads, s, kHd});
+  q.fill(fp16_t(77.0f));  // must be overwritten (zeroed) everywhere
+  auto k = Tensor<fp16_t>({2, kHeads, s, kHd});
+  auto v = Tensor<fp16_t>({2, kHeads, s, kHd});
+  k.fill(fp16_t(77.0f));
+  v.fill(fp16_t(77.0f));
+  split_qkv_add_bias_rebuild_padding(dev(), qkv.data(), bias.data(), q.data(),
+                                     k.data(), v.data(), off, kHeads, kHd);
+  // Padding slot: batch 0, position 2.
+  for (int h = 0; h < kHeads; ++h) {
+    for (int d = 0; d < kHd; ++d) {
+      EXPECT_EQ(load_f32(q(0, h, 2, d)), 0.0f);
+      EXPECT_EQ(load_f32(k(0, h, 2, d)), 0.0f);
+      EXPECT_EQ(load_f32(v(0, h, 2, d)), 0.0f);
+    }
+  }
+  // Valid slot: batch 1, position 1 = packed row 3.
+  for (int h = 0; h < kHeads; ++h) {
+    for (int d = 0; d < kHd; ++d) {
+      EXPECT_EQ(load_f32(q(1, h, 1, d)),
+                load_f32(qkv(3, 0 * kHidden + h * kHd + d)));
+    }
+  }
+}
+
+TEST(Transpose, SplitPackedKeepsRowOrder) {
+  const std::int64_t valid = 5;
+  Rng rng(113);
+  auto qkv = Tensor<fp16_t>::random_normal({valid, 3 * kHidden}, rng);
+  auto bias = Tensor<fp16_t>::random_normal({3 * kHidden}, rng);
+  auto q = Tensor<fp16_t>::zeros({valid, kHidden});
+  auto k = Tensor<fp16_t>::zeros({valid, kHidden});
+  auto v = Tensor<fp16_t>::zeros({valid, kHidden});
+  split_qkv_add_bias_packed(dev(), qkv.data(), bias.data(), q.data(),
+                            k.data(), v.data(), valid, kHeads, kHd);
+  for (std::int64_t t = 0; t < valid; ++t) {
+    for (int j = 0; j < kHidden; ++j) {
+      EXPECT_NEAR(load_f32(q(t, j)),
+                  load_f32(qkv(t, j)) + load_f32(bias(j)), 2e-3);
+      EXPECT_NEAR(load_f32(v(t, j)),
+                  load_f32(qkv(t, 2 * kHidden + j)) +
+                      load_f32(bias(2 * kHidden + j)),
+                  2e-3);
+    }
+  }
+}
+
+TEST(Transpose, MergeHeadsPaddedInvertsSplit) {
+  const int batch = 2;
+  const int s = 5;
+  Rng rng(114);
+  auto rows = Tensor<fp16_t>::random_normal({batch * s, kHidden}, rng);
+  // Split without bias: route through split with a triple-wide qkv where the
+  // Q part holds our rows.
+  auto ctx = Tensor<fp16_t>::zeros({batch, kHeads, s, kHd});
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < kHeads; ++h) {
+      for (int si = 0; si < s; ++si) {
+        for (int d = 0; d < kHd; ++d) {
+          ctx(b, h, si, d) = rows(b * s + si, h * kHd + d);
+        }
+      }
+    }
+  }
+  auto merged = Tensor<fp16_t>::zeros({batch * s, kHidden});
+  merge_heads_padded(dev(), ctx.data(), merged.data(), batch, s, kHeads, kHd);
+  EXPECT_EQ(max_abs_diff(rows, merged), 0.0);
+}
+
+TEST(Transpose, MergeRemovePaddingGathersValidOnly) {
+  const std::vector<int> lens{1, 3};
+  const int s = 3;
+  const core::SeqOffsets off = core::build_seq_offsets(dev(), lens, s);
+  auto ctx = Tensor<fp16_t>::zeros({2, kHeads, s, kHd});
+  // Mark each (b, pos) with a distinct value.
+  for (int b = 0; b < 2; ++b) {
+    for (int h = 0; h < kHeads; ++h) {
+      for (int si = 0; si < s; ++si) {
+        for (int d = 0; d < kHd; ++d) {
+          ctx(b, h, si, d) = fp16_t(static_cast<float>(b * 10 + si));
+        }
+      }
+    }
+  }
+  auto packed = Tensor<fp16_t>::zeros({off.valid_count, kHidden});
+  merge_heads_remove_padding(dev(), ctx.data(), packed.data(), off, kHeads,
+                             kHd);
+  EXPECT_EQ(load_f32(packed(0, 0)), 0.0f);   // b0 pos0
+  EXPECT_EQ(load_f32(packed(1, 0)), 10.0f);  // b1 pos0
+  EXPECT_EQ(load_f32(packed(2, 0)), 11.0f);  // b1 pos1
+  EXPECT_EQ(load_f32(packed(3, 0)), 12.0f);  // b1 pos2
+}
+
+TEST(Transpose, SplitThenMergeRoundTripsThroughHeads) {
+  // split(packed->padded heads) then merge(remove padding) with zero bias is
+  // the identity on the Q part of packed QKV rows.
+  const std::vector<int> lens{4, 2, 5};
+  const int s = 5;
+  const core::SeqOffsets off = core::build_seq_offsets(dev(), lens, s);
+  Rng rng(115);
+  auto qkv = Tensor<fp16_t>::random_normal({off.valid_count, 3 * kHidden}, rng);
+  auto bias = Tensor<fp16_t>::zeros({3 * kHidden});
+  auto q = Tensor<fp16_t>::zeros({3, kHeads, s, kHd});
+  auto k = Tensor<fp16_t>::zeros({3, kHeads, s, kHd});
+  auto v = Tensor<fp16_t>::zeros({3, kHeads, s, kHd});
+  split_qkv_add_bias_rebuild_padding(dev(), qkv.data(), bias.data(), q.data(),
+                                     k.data(), v.data(), off, kHeads, kHd);
+  auto packed = Tensor<fp16_t>::zeros({off.valid_count, kHidden});
+  merge_heads_remove_padding(dev(), q.data(), packed.data(), off, kHeads, kHd);
+  for (std::int64_t t = 0; t < off.valid_count; ++t) {
+    for (int j = 0; j < kHidden; ++j) {
+      EXPECT_EQ(packed(t, j).bits(), qkv(t, j).bits());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bt::kernels

@@ -1,0 +1,89 @@
+#include "test_utils.h"
+
+namespace bt::test {
+
+std::vector<double> ref_encoder_layer(const core::BertConfig& cfg,
+                                      const core::LayerWeights& w,
+                                      const std::vector<double>& input,
+                                      const core::SeqOffsets& off) {
+  const std::int64_t h = cfg.hidden();
+  const std::int64_t inner = cfg.ffn_inner();
+  const std::int64_t rows = static_cast<std::int64_t>(off.batch) * off.max_seq;
+  const int heads = cfg.heads;
+  const int hd = cfg.head_size;
+  const int s = off.max_seq;
+
+  const auto w_qkv = to_f64(w.w_qkv);
+  const auto b_qkv = to_f64(w.b_qkv);
+  const auto w_proj = to_f64(w.w_proj);
+  const auto b_proj = to_f64(w.b_proj);
+  const auto w_ffn1 = to_f64(w.w_ffn1);
+  const auto b_ffn1 = to_f64(w.b_ffn1);
+  const auto w_ffn2 = to_f64(w.w_ffn2);
+  const auto b_ffn2 = to_f64(w.b_ffn2);
+  const auto ln1_g = to_f64(w.ln1_gamma);
+  const auto ln1_b = to_f64(w.ln1_beta);
+  const auto ln2_g = to_f64(w.ln2_gamma);
+  const auto ln2_b = to_f64(w.ln2_beta);
+
+  // GEMM #0 + bias, split to per-head Q/K/V.
+  std::vector<double> qkv;
+  ref_gemm_rows(input, w_qkv, qkv, rows, 3 * h, h);
+  const std::int64_t per_head =
+      static_cast<std::int64_t>(off.batch) * heads * s * hd;
+  std::vector<double> q(static_cast<std::size_t>(per_head), 0.0);
+  std::vector<double> k(static_cast<std::size_t>(per_head), 0.0);
+  std::vector<double> v(static_cast<std::size_t>(per_head), 0.0);
+  for (std::int64_t t = 0; t < rows; ++t) {
+    const std::int64_t b = t / s;
+    const std::int64_t si = t % s;
+    for (int hi = 0; hi < heads; ++hi) {
+      for (int d = 0; d < hd; ++d) {
+        const std::int64_t dst = ((b * heads + hi) * s + si) * hd + d;
+        const std::int64_t col = static_cast<std::int64_t>(hi) * hd + d;
+        q[static_cast<std::size_t>(dst)] =
+            qkv[static_cast<std::size_t>(t * 3 * h + 0 * h + col)] +
+            b_qkv[static_cast<std::size_t>(0 * h + col)];
+        k[static_cast<std::size_t>(dst)] =
+            qkv[static_cast<std::size_t>(t * 3 * h + 1 * h + col)] +
+            b_qkv[static_cast<std::size_t>(1 * h + col)];
+        v[static_cast<std::size_t>(dst)] =
+            qkv[static_cast<std::size_t>(t * 3 * h + 2 * h + col)] +
+            b_qkv[static_cast<std::size_t>(2 * h + col)];
+      }
+    }
+  }
+
+  // Reference MHA and head merge.
+  std::vector<double> ctx_heads(static_cast<std::size_t>(per_head), 0.0);
+  attn::mha_reference(q.data(), k.data(), v.data(), ctx_heads.data(),
+                      off.batch, heads, s, hd, off.seq_lens);
+  std::vector<double> ctx_rows(static_cast<std::size_t>(rows * h), 0.0);
+  for (std::int64_t t = 0; t < rows; ++t) {
+    const std::int64_t b = t / s;
+    const std::int64_t si = t % s;
+    for (int hi = 0; hi < heads; ++hi) {
+      for (int d = 0; d < hd; ++d) {
+        ctx_rows[static_cast<std::size_t>(t * h + hi * hd + d)] =
+            ctx_heads[static_cast<std::size_t>(((b * heads + hi) * s + si) * hd + d)];
+      }
+    }
+  }
+
+  // Projection + LN, FFN + LN.
+  std::vector<double> attn_out;
+  ref_gemm_rows(ctx_rows, w_proj, attn_out, rows, h, h);
+  std::vector<double> ln1;
+  ref_add_bias_residual_layernorm(attn_out, input, b_proj, ln1_g, ln1_b, ln1,
+                                  rows, h);
+  std::vector<double> mid;
+  ref_gemm_rows(ln1, w_ffn1, mid, rows, inner, h, &b_ffn1, /*gelu=*/true);
+  std::vector<double> ffn_out;
+  ref_gemm_rows(mid, w_ffn2, ffn_out, rows, h, inner);
+  std::vector<double> out;
+  ref_add_bias_residual_layernorm(ffn_out, ln1, b_ffn2, ln2_g, ln2_b, out,
+                                  rows, h);
+  return out;
+}
+
+}  // namespace bt::test

@@ -1,0 +1,66 @@
+// Workspace: grow-only keyed scratch reuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/half.h"
+#include "core/workspace.h"
+
+namespace bt::core {
+namespace {
+
+TEST(Workspace, ReturnsRequestedCount) {
+  Workspace ws;
+  auto s = ws.get<float>("a", 100);
+  EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(Workspace, SameKeySameBufferWhenNotGrowing) {
+  Workspace ws;
+  auto a = ws.get<float>("k", 64);
+  a[0] = 42.0f;
+  auto b = ws.get<float>("k", 64);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(b[0], 42.0f);
+  auto c = ws.get<float>("k", 32);  // smaller request reuses too
+  EXPECT_EQ(reinterpret_cast<void*>(c.data()), reinterpret_cast<void*>(a.data()));
+}
+
+TEST(Workspace, GrowsWhenLarger) {
+  Workspace ws;
+  auto a = ws.get<float>("k", 64);
+  (void)a;
+  auto b = ws.get<float>("k", 1024);
+  EXPECT_EQ(b.size(), 1024u);
+  // Writing the whole span must be valid (ASAN would flag otherwise).
+  for (auto& v : b) v = 1.0f;
+}
+
+TEST(Workspace, DistinctKeysDistinctBuffers) {
+  Workspace ws;
+  auto a = ws.get<float>("a", 64);
+  auto b = ws.get<float>("b", 64);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Workspace, AlignmentIsCacheLine) {
+  Workspace ws;
+  auto a = ws.get<fp16_t>("x", 3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % kCacheLine, 0u);
+}
+
+TEST(Workspace, TotalBytesAccounts) {
+  Workspace ws;
+  EXPECT_EQ(ws.total_bytes(), 0u);
+  ws.get<float>("a", 16);  // rounded to cache line
+  EXPECT_GE(ws.total_bytes(), 64u);
+}
+
+TEST(Workspace, ZeroCountIsSafe) {
+  Workspace ws;
+  auto s = ws.get<float>("z", 0);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bt::core
