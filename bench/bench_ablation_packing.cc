@@ -78,11 +78,39 @@ void BM_AblationPacking_OneLayerForScale(benchmark::State& state) {
   }
 }
 
+// The same machinery measured at the serving tier: a full Engine round trip
+// (submit, packed batch formation, offsets, one-layer forward, per-request
+// scatter) minus OneLayerForScale above isolates the request-level overhead
+// the Engine adds on top of the kernel-level API.
+void BM_AblationPacking_EngineRoundtrip(benchmark::State& state) {
+  const int max_seq = static_cast<int>(state.range(0));
+  core::BertConfig cfg;
+  cfg.heads = 4;
+  cfg.head_size = 64;
+  cfg.layers = 1;
+  Rng rng(kSeed);
+  auto model = std::make_shared<const core::BertModel>(
+      core::BertModel::random(cfg, rng));
+  auto batch = VarLenBatch::make(kBatch, max_seq, cfg.hidden());
+  const auto requests = to_requests(batch, cfg.hidden());
+  serving::EngineOptions opts;
+  opts.flags = core::OptFlags::byte_transformer();
+  opts.policy = serving::BatchPolicy::kPacked;
+  opts.max_batch_requests = kBatch;
+  serving::Engine engine(model, opts);
+  for (auto _ : state) {
+    for (const auto& r : requests) engine.submit(r.clone());
+    auto responses = engine.drain();
+    benchmark::DoNotOptimize(responses.data());
+  }
+}
+
 #define PACKING_ARGS ->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond)->MinTime(0.05)
 BENCHMARK(BM_AblationPacking_BuildOffsets) PACKING_ARGS;
 BENCHMARK(BM_AblationPacking_BuildOffsetsFromMask) PACKING_ARGS;
 BENCHMARK(BM_AblationPacking_PackUnpack) PACKING_ARGS;
 BENCHMARK(BM_AblationPacking_OneLayerForScale) PACKING_ARGS;
+BENCHMARK(BM_AblationPacking_EngineRoundtrip) PACKING_ARGS;
 
 }  // namespace
 }  // namespace bt::bench

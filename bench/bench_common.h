@@ -15,12 +15,14 @@
 
 #include "attention/attention.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "core/config.h"
 #include "core/model.h"
 #include "core/padding.h"
 #include "core/workspace.h"
 #include "parallel/device.h"
 #include "serving/batching.h"
+#include "serving/engine.h"
 #include "serving/request_gen.h"
 #include "tensor/tensor.h"
 
@@ -128,54 +130,42 @@ inline core::OptFlags framework_flags(Framework f, int max_seq) {
   return flags;
 }
 
-// TurboTransformer-style execution: sort by length, split into groups of
-// `group_size`, pad each group to its own max, run the padded pipeline per
-// group. Returns nothing; timing is the caller's loop.
-inline void run_turbo_like(const core::BertModel& model,
-                           const VarLenBatch& batch, int group_size,
-                           core::Workspace& ws, Tensor<fp16_t>& out) {
-  const std::int64_t hidden = model.config().hidden();
-  const auto groups = serving::group_by_length(batch.off.seq_lens, group_size);
-  const core::OptFlags flags =
-      framework_flags(Framework::kTurboTransformer, batch.off.max_seq);
-  for (const auto& g : groups) {
-    // Gather the group's sequences into a compact padded tensor.
-    const int gb = static_cast<int>(g.indices.size());
-    auto g_in = ws.get<fp16_t>("turbo.in",
-                               static_cast<std::int64_t>(gb) * g.max_len * hidden);
-    auto g_out = ws.get<fp16_t>("turbo.out",
-                                static_cast<std::int64_t>(gb) * g.max_len * hidden);
-    std::vector<int> g_lens;
-    g_lens.reserve(g.indices.size());
-    for (int idx : g.indices) {
-      g_lens.push_back(batch.off.seq_lens[static_cast<std::size_t>(idx)]);
-    }
-    for (int i = 0; i < gb; ++i) {
-      const int src_seq = g.indices[static_cast<std::size_t>(i)];
-      for (int s = 0; s < g.max_len; ++s) {
-        const fp16_t* src =
-            batch.padded.data() +
-            (static_cast<std::int64_t>(src_seq) * batch.off.max_seq + s) * hidden;
-        fp16_t* dst =
-            g_in.data() + (static_cast<std::int64_t>(i) * g.max_len + s) * hidden;
-        std::memcpy(dst, src, sizeof(fp16_t) * static_cast<std::size_t>(hidden));
-      }
-    }
-    const auto g_off = core::build_seq_offsets(dev(), g_lens, g.max_len);
-    model.forward(dev(), g_in.data(), g_out.data(), g_off, flags, ws);
-    // Scatter back (part of the strategy's cost).
-    for (int i = 0; i < gb; ++i) {
-      const int dst_seq = g.indices[static_cast<std::size_t>(i)];
-      for (int s = 0; s < g.max_len; ++s) {
-        std::memcpy(out.data() + (static_cast<std::int64_t>(dst_seq) *
-                                      batch.off.max_seq +
-                                  s) * hidden,
-                    g_out.data() +
-                        (static_cast<std::int64_t>(i) * g.max_len + s) * hidden,
-                    sizeof(fp16_t) * static_cast<std::size_t>(hidden));
-      }
-    }
+// Maps a framework proxy to its serving-layer configuration: the Engine
+// batching policy riding on top of framework_flags. TurboTransformer
+// re-groups batches (SmartBatch); everything else either packs (when its
+// pipeline is padding-free) or pads to the batch max.
+inline serving::EngineOptions framework_engine_options(Framework f,
+                                                       int max_seq,
+                                                       int max_batch_requests,
+                                                       int group_size = 4) {
+  serving::EngineOptions opts;
+  opts.flags = framework_flags(f, max_seq);
+  opts.max_batch_requests = max_batch_requests;
+  if (f == Framework::kTurboTransformer) {
+    opts.policy = serving::BatchPolicy::kSortGroup;
+    opts.group_size = group_size;
+  } else {
+    opts.policy = opts.flags.zero_padding ? serving::BatchPolicy::kPacked
+                                          : serving::BatchPolicy::kPadToMax;
   }
+  return opts;
+}
+
+// Slices a VarLenBatch into the per-request [len, hidden] tensors the Engine
+// consumes (clone per submission — the engine takes ownership).
+inline std::vector<Tensor<fp16_t>> to_requests(const VarLenBatch& batch,
+                                               std::int64_t hidden) {
+  std::vector<Tensor<fp16_t>> requests;
+  for (std::size_t b = 0; b < batch.off.seq_lens.size(); ++b) {
+    const int len = batch.off.seq_lens[b];
+    Tensor<fp16_t> r({len, hidden});
+    std::memcpy(r.data(),
+                batch.padded.data() +
+                    static_cast<std::int64_t>(b) * batch.off.max_seq * hidden,
+                static_cast<std::size_t>(r.size()) * sizeof(fp16_t));
+    requests.push_back(std::move(r));
+  }
+  return requests;
 }
 
 }  // namespace bt::bench

@@ -19,14 +19,18 @@ core::BertConfig e2e_config() {
   return cfg;
 }
 
-const core::BertModel& shared_model() {
-  static core::BertModel model = [] {
+std::shared_ptr<const core::BertModel> shared_model() {
+  static std::shared_ptr<const core::BertModel> model = [] {
     Rng rng(kSeed);
-    return core::BertModel::random(e2e_config(), rng);
+    return std::make_shared<const core::BertModel>(
+        core::BertModel::random(e2e_config(), rng));
   }();
   return model;
 }
 
+// Serves the batch through an Engine configured for the framework proxy —
+// each iteration measures the full request-level path (submit, batch
+// formation under the framework's policy, forward, per-request scatter).
 void run_framework(benchmark::State& state, Framework fw) {
   const int batch_size = static_cast<int>(state.range(0));
   const int max_seq = static_cast<int>(state.range(1));
@@ -35,21 +39,23 @@ void run_framework(benchmark::State& state, Framework fw) {
     state.SkipWithError("TurboTransformer proxy supports seq <= 512");
     return;
   }
-  const auto& model = shared_model();
-  auto batch = VarLenBatch::make(batch_size, max_seq, model.config().hidden());
-  auto out = Tensor<fp16_t>::zeros({batch.padded.dim(0), model.config().hidden()});
-  core::Workspace ws;
-  const auto flags = framework_flags(fw, max_seq);
+  auto model = shared_model();
+  const std::int64_t hidden = model->config().hidden();
+  auto batch = VarLenBatch::make(batch_size, max_seq, hidden);
+  const auto requests = to_requests(batch, hidden);
+  serving::Engine engine(
+      model, framework_engine_options(fw, max_seq, batch_size));
   for (auto _ : state) {
-    if (fw == Framework::kTurboTransformer) {
-      run_turbo_like(model, batch, /*group_size=*/4, ws, out);
-    } else {
-      model.forward(dev(), batch.padded.data(), out.data(), batch.off, flags,
-                    ws);
-    }
-    benchmark::DoNotOptimize(out.data());
+    for (const auto& r : requests) engine.submit(r.clone());
+    auto responses = engine.drain();
+    benchmark::DoNotOptimize(responses.data());
   }
   state.counters["alpha"] = batch.off.fill_ratio();
+  state.counters["pad_waste"] =
+      engine.stats().processed_tokens > 0
+          ? static_cast<double>(engine.stats().padding_tokens()) /
+                static_cast<double>(engine.stats().processed_tokens)
+          : 0.0;
 }
 
 void BM_Fig15_PyTorchJIT(benchmark::State& state) {
@@ -89,16 +95,17 @@ BENCHMARK(BM_Fig15_ByteTransformer) FIG15_ARGS;
 // -66% at alpha 0.1 vs 1.0).
 void BM_Fig15c_RatioSweep(benchmark::State& state) {
   const double alpha = static_cast<double>(state.range(0)) / 100.0;
-  const auto& model = shared_model();
-  auto batch =
-      VarLenBatch::make(8, 384, model.config().hidden(), alpha, kSeed + 4);
-  auto out = Tensor<fp16_t>::zeros({batch.padded.dim(0), model.config().hidden()});
-  core::Workspace ws;
-  const auto flags = framework_flags(Framework::kByteTransformer, 384);
+  auto model = shared_model();
+  const std::int64_t hidden = model->config().hidden();
+  auto batch = VarLenBatch::make(8, 384, hidden, alpha, kSeed + 4);
+  const auto requests = to_requests(batch, hidden);
+  serving::Engine engine(
+      model,
+      framework_engine_options(Framework::kByteTransformer, 384, /*batch=*/8));
   for (auto _ : state) {
-    model.forward(dev(), batch.padded.data(), out.data(), batch.off, flags,
-                  ws);
-    benchmark::DoNotOptimize(out.data());
+    for (const auto& r : requests) engine.submit(r.clone());
+    auto responses = engine.drain();
+    benchmark::DoNotOptimize(responses.data());
   }
   state.counters["alpha"] = batch.off.fill_ratio();
 }

@@ -34,18 +34,21 @@ core::BertConfig model_config(WhichModel m) {
   return {};
 }
 
-const core::BertModel& model_for(WhichModel m) {
-  static core::BertModel albert = [] {
+std::shared_ptr<const core::BertModel> model_for(WhichModel m) {
+  static std::shared_ptr<const core::BertModel> albert = [] {
     Rng rng(kSeed);
-    return core::BertModel::random(model_config(WhichModel::kAlbert), rng);
+    return std::make_shared<const core::BertModel>(
+        core::BertModel::random(model_config(WhichModel::kAlbert), rng));
   }();
-  static core::BertModel distil = [] {
+  static std::shared_ptr<const core::BertModel> distil = [] {
     Rng rng(kSeed + 1);
-    return core::BertModel::random(model_config(WhichModel::kDistilBert), rng);
+    return std::make_shared<const core::BertModel>(
+        core::BertModel::random(model_config(WhichModel::kDistilBert), rng));
   }();
-  static core::BertModel deberta = [] {
+  static std::shared_ptr<const core::BertModel> deberta = [] {
     Rng rng(kSeed + 2);
-    return core::BertModel::random(model_config(WhichModel::kDeberta), rng);
+    return std::make_shared<const core::BertModel>(
+        core::BertModel::random(model_config(WhichModel::kDeberta), rng));
   }();
   switch (m) {
     case WhichModel::kAlbert: return albert;
@@ -57,25 +60,24 @@ const core::BertModel& model_for(WhichModel m) {
 
 void run_model(benchmark::State& state, WhichModel which, Framework fw) {
   const int max_seq = static_cast<int>(state.range(0));
+  const int batch_size = 4;
   // FT and Turbo do not support DeBERTa (paper Sec. IV-F). DeBERTa's
   // disentangled attention also has no fused-MHA path, so ByteTransformer
   // mode for it is padding-free + fused kernels + zero-pad softmax.
-  const auto& model = model_for(which);
-  auto batch = VarLenBatch::make(4, max_seq, model.config().hidden());
-  auto out = Tensor<fp16_t>::zeros({batch.padded.dim(0), model.config().hidden()});
-  core::Workspace ws;
-  core::OptFlags flags = framework_flags(fw, max_seq);
+  auto model = model_for(which);
+  const std::int64_t hidden = model->config().hidden();
+  auto batch = VarLenBatch::make(batch_size, max_seq, hidden);
+  const auto requests = to_requests(batch, hidden);
+  auto opts = framework_engine_options(fw, max_seq, batch_size,
+                                       /*group_size=*/2);
   if (which == WhichModel::kDeberta && fw == Framework::kByteTransformer) {
-    flags = core::OptFlags::zero_padding_enabled();
+    opts.flags = core::OptFlags::zero_padding_enabled();
   }
+  serving::Engine engine(model, opts);
   for (auto _ : state) {
-    if (fw == Framework::kTurboTransformer) {
-      run_turbo_like(model, batch, /*group_size=*/2, ws, out);
-    } else {
-      model.forward(dev(), batch.padded.data(), out.data(), batch.off, flags,
-                    ws);
-    }
-    benchmark::DoNotOptimize(out.data());
+    for (const auto& r : requests) engine.submit(r.clone());
+    auto responses = engine.drain();
+    benchmark::DoNotOptimize(responses.data());
   }
 }
 

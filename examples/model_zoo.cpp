@@ -1,14 +1,15 @@
 // Model zoo: the four BERT-like architectures of the paper (Table IV),
-// each run under the padded baseline and the full ByteTransformer stack on
-// the same variable-length batch. Mirrors the Fig. 16 experiment at example
-// scale.
+// each served through an Engine under the padded baseline and the full
+// ByteTransformer stack on the same variable-length batch. Mirrors the
+// Fig. 16 experiment at example scale.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/model.h"
-#include "parallel/device.h"
+#include "serving/engine.h"
 #include "serving/request_gen.h"
 #include "tensor/tensor.h"
 
@@ -22,11 +23,19 @@ struct Entry {
   bool has_fused_mha;  // DeBERTa's disentangled score has no fused-MHA path
 };
 
+// Submits clones of `requests` and drains, returning the engine compute time
+// in milliseconds.
+double serve_once(serving::Engine& engine,
+                  const std::vector<Tensor<fp16_t>>& requests) {
+  const double before = engine.stats().compute_seconds;
+  for (const auto& r : requests) engine.submit(r.clone());
+  engine.drain();
+  return (engine.stats().compute_seconds - before) * 1e3;
+}
+
 }  // namespace
 
 int main() {
-  par::Device& dev = par::default_device();
-
   core::BertConfig deberta = core::BertConfig::deberta_base().scaled(2, 2);
   deberta.relative_span = 32;
   const Entry zoo[] = {
@@ -44,37 +53,43 @@ int main() {
 
   for (const Entry& e : zoo) {
     Rng rng(42);
-    const core::BertModel model = core::BertModel::random(e.cfg, rng);
+    auto model = std::make_shared<const core::BertModel>(
+        core::BertModel::random(e.cfg, rng));
     const auto lens = serving::gen_lengths(batch, max_seq, 0.6, rng);
-    const auto off = core::build_seq_offsets(dev, lens, max_seq);
-    auto input = Tensor<fp16_t>::zeros({batch * max_seq, e.cfg.hidden()});
-    for (std::int64_t v = 0; v < off.valid_count; ++v) {
-      const std::int64_t r = off.packed_to_padded[static_cast<std::size_t>(v)];
-      for (int j = 0; j < e.cfg.hidden(); ++j) input(r, j) = fp16_t(0.02f * (j % 7));
+    std::vector<Tensor<fp16_t>> requests;
+    for (int l : lens) {
+      auto hidden = Tensor<fp16_t>({l, e.cfg.hidden()});
+      for (std::int64_t s = 0; s < l; ++s) {
+        for (int j = 0; j < e.cfg.hidden(); ++j) {
+          hidden(s, j) = fp16_t(0.02f * (j % 7));
+        }
+      }
+      requests.push_back(std::move(hidden));
     }
-    auto out = Tensor<fp16_t>::zeros({batch * max_seq, e.cfg.hidden()});
-    core::Workspace ws;
 
-    core::OptFlags byte_flags = e.has_fused_mha
-                                    ? core::OptFlags::byte_transformer()
-                                    : core::OptFlags::zero_padding_enabled();
+    serving::EngineOptions base_opts;
+    base_opts.flags = core::OptFlags::baseline();
+    base_opts.policy = serving::BatchPolicy::kPadToMax;
+    base_opts.max_batch_requests = batch;
+    serving::Engine baseline(model, base_opts);
 
-    // Warm up workspaces, then time a few iterations of each mode.
-    model.forward(dev, input.data(), out.data(), off,
-                  core::OptFlags::baseline(), ws);
+    serving::EngineOptions byte_opts;
+    byte_opts.flags = e.has_fused_mha ? core::OptFlags::byte_transformer()
+                                      : core::OptFlags::zero_padding_enabled();
+    byte_opts.policy = serving::BatchPolicy::kPacked;
+    byte_opts.max_batch_requests = batch;
+    serving::Engine byte(model, byte_opts);
+
+    // Warm up workspaces, then time a few serving rounds of each mode.
+    serve_once(baseline, requests);
+    serve_once(byte, requests);
     constexpr int kIters = 3;
-    Timer t;
-    for (int i = 0; i < kIters; ++i) {
-      model.forward(dev, input.data(), out.data(), off,
-                    core::OptFlags::baseline(), ws);
-    }
-    const double base_ms = t.millis() / kIters;
-    model.forward(dev, input.data(), out.data(), off, byte_flags, ws);
-    t.reset();
-    for (int i = 0; i < kIters; ++i) {
-      model.forward(dev, input.data(), out.data(), off, byte_flags, ws);
-    }
-    const double bt_ms = t.millis() / kIters;
+    double base_ms = 0;
+    double bt_ms = 0;
+    for (int i = 0; i < kIters; ++i) base_ms += serve_once(baseline, requests);
+    for (int i = 0; i < kIters; ++i) bt_ms += serve_once(byte, requests);
+    base_ms /= kIters;
+    bt_ms /= kIters;
 
     std::printf("%-12s %8d %8d %9.2f %10.2f %11.2fx\n", e.name,
                 e.cfg.layers, e.cfg.heads, base_ms, bt_ms, base_ms / bt_ms);

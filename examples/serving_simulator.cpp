@@ -1,22 +1,23 @@
 // Online-serving simulation — the scenario that motivates the paper
 // (TikTok/Douyin-style NLP serving with wildly varying sentence lengths).
 //
-// Requests arrive as a Poisson process; the server collects up to B requests
-// (or until the window closes) and runs one model forward per batch under
-// three batching policies:
+// Requests arrive as a Poisson process; a serving::Engine collects up to B
+// requests per scheduling round and serves them under three batching
+// policies:
 //   pad-to-max   — conventional frameworks,
 //   sort+group   — TurboTransformer SmartBatch proxy,
 //   packed       — ByteTransformer padding-free.
-// Prints throughput and latency percentiles per policy.
+// Prints throughput, latency percentiles, and padded-token waste per policy.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/timer.h"
 #include "core/model.h"
-#include "parallel/device.h"
-#include "serving/batching.h"
+#include "serving/engine.h"
 #include "serving/request_gen.h"
 #include "tensor/tensor.h"
 
@@ -27,23 +28,17 @@ using namespace bt;
 struct Policy {
   const char* name;
   core::OptFlags flags;
-  int group_size;  // 0 = single group (pad-to-max / packed)
+  serving::BatchPolicy batching;
+  int group_size;  // kSortGroup only
 };
-
-double percentile(std::vector<double> v, double p) {
-  std::sort(v.begin(), v.end());
-  const std::size_t idx = static_cast<std::size_t>(
-      p * static_cast<double>(v.size() - 1));
-  return v[idx];
-}
 
 }  // namespace
 
 int main() {
-  par::Device& dev = par::default_device();
   const core::BertConfig cfg = core::BertConfig::bert_base().scaled(2, 2);
   Rng rng(77);
-  const core::BertModel model = core::BertModel::random(cfg, rng);
+  auto model = std::make_shared<const core::BertModel>(
+      core::BertModel::random(cfg, rng));
 
   const int num_requests = 96;
   const int max_seq = 256;
@@ -52,62 +47,50 @@ int main() {
   const auto arrivals = serving::gen_arrivals(num_requests, /*rps=*/400.0, rng);
 
   const Policy policies[] = {
-      {"pad-to-max", core::OptFlags::bias_gelu_fused(), 0},
-      {"sort+group(4)", core::OptFlags::layernorm_fused(), 4},
-      {"packed (ByteTransformer)", core::OptFlags::byte_transformer(), 0},
+      {"pad-to-max", core::OptFlags::bias_gelu_fused(),
+       serving::BatchPolicy::kPadToMax, 0},
+      {"sort+group(4)", core::OptFlags::layernorm_fused(),
+       serving::BatchPolicy::kSortGroup, 4},
+      {"packed (ByteTransformer)", core::OptFlags::byte_transformer(),
+       serving::BatchPolicy::kPacked, 0},
   };
 
   std::printf("serving %d requests, max_seq %d, batch %d, alpha 0.6\n\n",
               num_requests, max_seq, batch_size);
-  std::printf("%-26s %10s %10s %10s %10s\n", "policy", "total(ms)", "p50(ms)",
-              "p95(ms)", "tok/ms");
+  std::printf("%-26s %10s %10s %10s %10s %10s\n", "policy", "total(ms)",
+              "p50(ms)", "p95(ms)", "tok/ms", "pad-waste");
 
   for (const Policy& pol : policies) {
-    core::Workspace ws;
+    serving::EngineOptions opts;
+    opts.flags = pol.flags;
+    opts.policy = pol.batching;
+    opts.group_size = pol.group_size > 0 ? pol.group_size : 4;
+    opts.max_batch_requests = batch_size;
+    serving::Engine engine(model, opts);
+
     std::vector<double> latency(static_cast<std::size_t>(num_requests), 0.0);
     double clock = 0.0;  // simulated server time (s)
-    long long valid_tokens = 0;
     Timer wall;
 
     for (int begin = 0; begin < num_requests; begin += batch_size) {
       const int end = std::min(num_requests, begin + batch_size);
-      const int bsz = end - begin;
-      std::vector<int> lens(lengths.begin() + begin, lengths.begin() + end);
-      for (int l : lens) valid_tokens += l;
-      // The batch starts once its last request has arrived.
-      const double batch_ready = arrivals[static_cast<std::size_t>(end - 1)];
-      clock = std::max(clock, batch_ready);
+      // The round starts once its last request has arrived.
+      clock = std::max(clock, arrivals[static_cast<std::size_t>(end - 1)]);
 
-      // Build inputs for this batch.
-      const auto off = core::build_seq_offsets(dev, lens, max_seq);
-      auto input = Tensor<fp16_t>::zeros({bsz * max_seq, cfg.hidden()});
-      for (std::int64_t v = 0; v < off.valid_count; ++v) {
-        const std::int64_t r = off.packed_to_padded[static_cast<std::size_t>(v)];
-        for (int j = 0; j < cfg.hidden(); ++j) input(r, j) = fp16_t(0.01f * j);
+      for (int i = begin; i < end; ++i) {
+        const int len = lengths[static_cast<std::size_t>(i)];
+        auto hidden = Tensor<fp16_t>({len, cfg.hidden()});
+        for (std::int64_t s = 0; s < len; ++s) {
+          for (int j = 0; j < cfg.hidden(); ++j) {
+            hidden(s, j) = fp16_t(0.01f * j);
+          }
+        }
+        engine.submit(std::move(hidden));
       }
-      auto out = Tensor<fp16_t>::zeros({bsz * max_seq, cfg.hidden()});
 
       Timer t;
-      if (pol.group_size > 0) {
-        // Sort+group: run per group padded to the group max.
-        const auto groups = serving::group_by_length(lens, pol.group_size);
-        for (const auto& g : groups) {
-          std::vector<int> g_lens;
-          for (int idx : g.indices) {
-            g_lens.push_back(lens[static_cast<std::size_t>(idx)]);
-          }
-          const auto g_off = core::build_seq_offsets(dev, g_lens, g.max_len);
-          auto g_in = Tensor<fp16_t>::zeros(
-              {static_cast<std::int64_t>(g_lens.size()) * g.max_len, cfg.hidden()});
-          auto g_out = Tensor<fp16_t>::zeros(
-              {static_cast<std::int64_t>(g_lens.size()) * g.max_len, cfg.hidden()});
-          model.forward(dev, g_in.data(), g_out.data(), g_off, pol.flags, ws);
-        }
-      } else {
-        model.forward(dev, input.data(), out.data(), off, pol.flags, ws);
-      }
-      const double service = t.seconds();
-      clock += service;
+      engine.run_batch();
+      clock += t.seconds();
       for (int i = begin; i < end; ++i) {
         latency[static_cast<std::size_t>(i)] =
             (clock - arrivals[static_cast<std::size_t>(i)]) * 1e3;
@@ -115,9 +98,13 @@ int main() {
     }
 
     const double total_ms = wall.millis();
-    std::printf("%-26s %10.1f %10.2f %10.2f %10.1f\n", pol.name, total_ms,
-                percentile(latency, 0.5), percentile(latency, 0.95),
-                static_cast<double>(valid_tokens) / total_ms);
+    const auto& st = engine.stats();
+    std::printf("%-26s %10.1f %10.2f %10.2f %10.1f %9.0f%%\n", pol.name,
+                total_ms, stats::percentile(latency, 0.5),
+                stats::percentile(latency, 0.95),
+                static_cast<double>(st.valid_tokens) / total_ms,
+                100.0 * static_cast<double>(st.padding_tokens()) /
+                    static_cast<double>(st.processed_tokens));
   }
 
   std::printf(

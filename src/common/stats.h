@@ -1,0 +1,32 @@
+// Small summary-statistics helpers shared by the serving example, the bench
+// harness, and the engine tests (previously copy-pasted per binary).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace bt::stats {
+
+// Nearest-rank percentile of an unsorted sample; `p` is a fraction in [0, 1]
+// and is clamped (p <= 0 -> minimum, p >= 1 -> maximum). An empty sample has
+// no order statistics: returns quiet NaN instead of indexing out of bounds.
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+inline double mean(std::span<const double> v) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace bt::stats

@@ -50,6 +50,25 @@ enum class PaddedMhaKind { kPyTorchLike, kBatched, kBatchedZeroPad };
 // fused_mha is enabled.
 enum class FusedMhaKind { kDispatch, kShort, kLong, kFlashLike };
 
+constexpr const char* padded_mha_name(PaddedMhaKind k) {
+  switch (k) {
+    case PaddedMhaKind::kPyTorchLike: return "pytorch-like";
+    case PaddedMhaKind::kBatched: return "batched";
+    case PaddedMhaKind::kBatchedZeroPad: return "batched-zeropad";
+  }
+  return "?";
+}
+
+constexpr const char* fused_mha_name(FusedMhaKind k) {
+  switch (k) {
+    case FusedMhaKind::kDispatch: return "dispatch";
+    case FusedMhaKind::kShort: return "short";
+    case FusedMhaKind::kLong: return "long";
+    case FusedMhaKind::kFlashLike: return "flash-like";
+  }
+  return "?";
+}
+
 // Step-wise optimization levels (each Fig. 14 variant includes all previous
 // optimizations). `baseline()` is the Fig. 2(a) pipeline.
 struct OptFlags {
@@ -83,12 +102,39 @@ struct OptFlags {
     return f;
   }
 
+  // Empty string when the combination is runnable; otherwise a
+  // human-readable reason. The one inconsistent combination today:
+  // the fused MHA kernels consume packed QKV rows, which only exist in the
+  // zero-padding pipeline, so fused_mha without zero_padding would silently
+  // fall back to the padded attention block (a meaningless measurement).
+  std::string validate() const {
+    if (fused_mha && !zero_padding) {
+      return "OptFlags: fused_mha=true requires zero_padding=true (the fused "
+             "MHA kernels operate on packed rows; a padded pipeline would "
+             "silently run the non-fused attention block instead)";
+    }
+    return {};
+  }
+
+  // Level plus the MHA variant actually dispatched, so bench labels are
+  // unambiguous: e.g. "fused-mha/short", "zero-padding/batched-zeropad",
+  // "baseline/pytorch-like".
   std::string name() const {
-    if (fused_mha) return "fused-mha";
-    if (zero_padding) return "zero-padding";
-    if (fuse_bias_gelu) return "bias-gelu-fusion";
-    if (fuse_layernorm) return "layernorm-fusion";
-    return "baseline";
+    std::string level;
+    if (fused_mha) {
+      level = "fused-mha";
+    } else if (zero_padding) {
+      level = "zero-padding";
+    } else if (fuse_bias_gelu) {
+      level = "bias-gelu-fusion";
+    } else if (fuse_layernorm) {
+      level = "layernorm-fusion";
+    } else {
+      level = "baseline";
+    }
+    level += '/';
+    level += fused_mha ? fused_mha_name(fused_kind) : padded_mha_name(padded_mha);
+    return level;
   }
 };
 

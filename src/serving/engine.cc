@@ -1,0 +1,161 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/padding.h"
+
+namespace bt::serving {
+
+namespace {
+
+void validate_options(const EngineOptions& opts) {
+  if (const std::string err = opts.flags.validate(); !err.empty()) {
+    throw std::invalid_argument(err);
+  }
+  if (opts.policy == BatchPolicy::kPacked && !opts.flags.zero_padding) {
+    throw std::invalid_argument(
+        "EngineOptions: BatchPolicy::kPacked requires flags.zero_padding; "
+        "without the padding-free pipeline the \"packed\" batch would still "
+        "process every padded token");
+  }
+  if (opts.policy == BatchPolicy::kSortGroup && opts.group_size <= 0) {
+    throw std::invalid_argument(
+        "EngineOptions: BatchPolicy::kSortGroup needs group_size > 0 "
+        "(use kPadToMax for a single whole-batch group)");
+  }
+  if (opts.max_batch_requests <= 0) {
+    throw std::invalid_argument(
+        "EngineOptions: max_batch_requests must be positive");
+  }
+}
+
+}  // namespace
+
+Engine::Engine(std::shared_ptr<const core::BertModel> model,
+               EngineOptions opts)
+    : opts_(opts),
+      model_(std::move(model)),
+      dev_(opts.threads, opts.scratch_bytes) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("Engine: model must not be null");
+  }
+  validate_options(opts_);
+}
+
+Engine::Engine(core::BertModel model, EngineOptions opts)
+    : Engine(std::make_shared<const core::BertModel>(std::move(model)),
+             opts) {}
+
+RequestId Engine::submit(Request req) {
+  if (req.hidden.rank() != 2 || req.hidden.dim(0) < 1 ||
+      req.hidden.dim(1) != hidden()) {
+    throw std::invalid_argument(
+        "Engine::submit: hidden must be [length >= 1, " +
+        std::to_string(hidden()) + "]");
+  }
+  const RequestId id = req.id >= 0 ? req.id : next_id_;
+  // Keep auto-assigned ids disjoint from caller-supplied ones.
+  next_id_ = std::max(next_id_, id + 1);
+  queue_.push_back(Pending{id, std::move(req.hidden), Timer()});
+  return id;
+}
+
+RequestId Engine::submit(Tensor<fp16_t> hidden) {
+  return submit(Request{-1, std::move(hidden)});
+}
+
+std::vector<Response> Engine::run_batch() {
+  if (queue_.empty()) return {};
+
+  // Admit queue-front requests up to the round's request and token caps
+  // (always at least one, so an oversized request cannot wedge the queue).
+  std::size_t count = 0;
+  long long admitted_tokens = 0;
+  while (count < queue_.size() &&
+         count < static_cast<std::size_t>(opts_.max_batch_requests)) {
+    const long long len = queue_[count].hidden.dim(0);
+    if (count > 0 && opts_.max_batch_tokens > 0 &&
+        admitted_tokens + len > opts_.max_batch_tokens) {
+      break;
+    }
+    admitted_tokens += len;
+    ++count;
+  }
+
+  std::vector<int> lengths(count);
+  std::vector<double> queue_secs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lengths[i] = static_cast<int>(queue_[i].hidden.dim(0));
+    queue_secs[i] = queue_[i].queued.seconds();
+  }
+
+  const BatchPlan plan = plan_batch(opts_.policy, lengths, opts_.group_size);
+  const std::int64_t h = hidden();
+  std::vector<Response> responses(count);
+
+  for (const MicroBatch& mb : plan.micro) {
+    const std::int64_t gb = static_cast<std::int64_t>(mb.indices.size());
+    const std::int64_t rows = gb * mb.max_len;
+    auto in = ws_.get<fp16_t>("engine.in", rows * h);
+    auto out = ws_.get<fp16_t>("engine.out", rows * h);
+
+    // Zero-padded gather: request i's valid rows form the prefix of padded
+    // row-block i, matching build_seq_offsets' prefix-mask convention.
+    std::memset(in.data(), 0, static_cast<std::size_t>(rows * h) * sizeof(fp16_t));
+    std::vector<int> mb_lens(mb.indices.size());
+    for (std::size_t i = 0; i < mb.indices.size(); ++i) {
+      const Pending& p = queue_[static_cast<std::size_t>(mb.indices[i])];
+      mb_lens[i] = static_cast<int>(p.hidden.dim(0));
+      std::memcpy(in.data() + static_cast<std::int64_t>(i) * mb.max_len * h,
+                  p.hidden.data(),
+                  static_cast<std::size_t>(p.hidden.size()) * sizeof(fp16_t));
+    }
+    const core::SeqOffsets off = core::build_seq_offsets(dev_, mb_lens, mb.max_len);
+
+    StageTimes stages;
+    Timer t;
+    model_->forward(dev_, in.data(), out.data(), off, opts_.flags, ws_,
+                    &stages);
+    const double compute = t.seconds();
+    stats_.compute_seconds += compute;
+
+    // Per-request scatter back to valid-rows-only tensors.
+    for (std::size_t i = 0; i < mb.indices.size(); ++i) {
+      const std::size_t pos = static_cast<std::size_t>(mb.indices[i]);
+      Response& r = responses[pos];
+      r.id = queue_[pos].id;
+      r.output = Tensor<fp16_t>({mb_lens[i], h});
+      std::memcpy(r.output.data(),
+                  out.data() + static_cast<std::int64_t>(i) * mb.max_len * h,
+                  static_cast<std::size_t>(r.output.size()) * sizeof(fp16_t));
+      r.queue_seconds = queue_secs[pos];
+      r.compute_seconds = compute;
+      r.stages = stages;
+    }
+  }
+
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(count));
+  stats_.requests += static_cast<long long>(count);
+  stats_.batches += 1;
+  stats_.micro_batches += static_cast<long long>(plan.micro.size());
+  stats_.valid_tokens += plan.valid_tokens;
+  stats_.processed_tokens += plan.processed_tokens;
+  return responses;
+}
+
+std::vector<Response> Engine::drain() {
+  std::vector<Response> all;
+  while (!queue_.empty()) {
+    std::vector<Response> round = run_batch();
+    all.insert(all.end(), std::make_move_iterator(round.begin()),
+               std::make_move_iterator(round.end()));
+  }
+  return all;
+}
+
+}  // namespace bt::serving

@@ -1,0 +1,122 @@
+// Request-level serving engine — the public entry point of the runtime.
+//
+// The kernel-level API (core::BertModel::forward) wants a zero-padded hidden
+// tensor, a SeqOffsets descriptor, and a caller-managed Workspace; every
+// call site used to re-wire that plumbing by hand. Engine is the serving
+// facade in front of it: callers submit per-request hidden states and get
+// per-request outputs back, while batch formation (via the pluggable
+// scheduler BatchPolicy), offset construction, pad-row zeroing, workspace
+// reuse, and padded-token accounting all live behind this API.
+//
+//   auto engine = serving::Engine(std::move(model), opts);
+//   auto id = engine.submit(std::move(hidden));   // [len, hidden] rows
+//   for (auto& r : engine.drain()) { ... r.output, r.compute_seconds ... }
+//
+// Synchronous by design: run_batch() executes one scheduling round on the
+// calling thread (the engine's Device parallelizes the kernels). The async
+// executor, multi-model sharding, and session reuse planned on the roadmap
+// all slot in behind this same surface.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/model.h"
+#include "core/workspace.h"
+#include "parallel/device.h"
+#include "serving/scheduler.h"
+#include "tensor/tensor.h"
+
+namespace bt::serving {
+
+using RequestId = std::int64_t;
+
+struct EngineOptions {
+  core::OptFlags flags = core::OptFlags::byte_transformer();
+  BatchPolicy policy = BatchPolicy::kPacked;
+  int group_size = 4;            // kSortGroup: requests per group
+  int max_batch_requests = 8;    // scheduling-round request cap
+  long long max_batch_tokens = 0;  // valid-token cap per round; 0 = unlimited
+                                   // (always admits at least one request)
+  int threads = 0;               // engine Device workers; 0 = global pool
+  std::size_t scratch_bytes = par::CtaScratch::kDefaultBytes;
+};
+
+struct Request {
+  RequestId id = -1;       // < 0: engine assigns the next sequential id
+  Tensor<fp16_t> hidden;   // [length, hidden] valid rows only (no padding)
+};
+
+struct Response {
+  RequestId id = -1;
+  Tensor<fp16_t> output;       // [length, hidden] valid rows only
+  double queue_seconds = 0;    // submit -> scheduling-round start
+  double compute_seconds = 0;  // wall time of the owning micro-batch forward
+  StageTimes stages;           // stage breakdown of the owning micro-batch
+};
+
+// Cumulative accounting across every scheduling round of the engine.
+struct EngineStats {
+  long long requests = 0;
+  long long batches = 0;         // scheduling rounds that did work
+  long long micro_batches = 0;   // model invocations
+  long long valid_tokens = 0;
+  long long processed_tokens = 0;  // per-policy padded-token accounting
+  double compute_seconds = 0;
+
+  long long padding_tokens() const { return processed_tokens - valid_tokens; }
+};
+
+class Engine {
+ public:
+  // Throws std::invalid_argument on inconsistent options: flags that fail
+  // OptFlags::validate(), a kPacked policy without the zero_padding pipeline
+  // (the padded pipeline would silently re-introduce the waste the policy
+  // claims to remove), a non-positive group_size under kSortGroup, or a
+  // non-positive max_batch_requests.
+  Engine(std::shared_ptr<const core::BertModel> model, EngineOptions opts);
+  Engine(core::BertModel model, EngineOptions opts);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Enqueues a request; `hidden` must be a rank-2 [length, hidden] tensor
+  // with at least one row (throws std::invalid_argument otherwise).
+  // Returns the id responses will carry.
+  RequestId submit(Request req);
+  RequestId submit(Tensor<fp16_t> hidden);
+
+  // Runs one scheduling round over the queue front (bounded by
+  // max_batch_requests / max_batch_tokens) and returns the responses in
+  // submission order. Empty queue -> empty vector.
+  std::vector<Response> run_batch();
+
+  // Runs rounds until the queue is empty; responses in submission order.
+  std::vector<Response> drain();
+
+  std::size_t pending() const { return queue_.size(); }
+  const EngineStats& stats() const { return stats_; }
+  const core::BertModel& model() const { return *model_; }
+  const EngineOptions& options() const { return opts_; }
+  int hidden() const { return model_->config().hidden(); }
+
+ private:
+  struct Pending {
+    RequestId id;
+    Tensor<fp16_t> hidden;
+    Timer queued;
+  };
+
+  EngineOptions opts_;
+  std::shared_ptr<const core::BertModel> model_;
+  par::Device dev_;
+  core::Workspace ws_;
+  std::deque<Pending> queue_;
+  RequestId next_id_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace bt::serving

@@ -1,0 +1,57 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bt::serving {
+
+namespace {
+
+MicroBatch whole_batch(std::span<const int> lengths, bool packed) {
+  MicroBatch mb;
+  mb.indices.resize(lengths.size());
+  std::iota(mb.indices.begin(), mb.indices.end(), 0);
+  mb.max_len = *std::max_element(lengths.begin(), lengths.end());
+  mb.packed = packed;
+  mb.valid_tokens = std::accumulate(lengths.begin(), lengths.end(), 0LL);
+  return mb;
+}
+
+}  // namespace
+
+BatchPlan plan_batch(BatchPolicy policy, std::span<const int> lengths,
+                     int group_size) {
+  BatchPlan plan;
+  plan.policy = policy;
+  if (lengths.empty()) return plan;
+
+  switch (policy) {
+    case BatchPolicy::kPadToMax:
+      plan.micro.push_back(whole_batch(lengths, /*packed=*/false));
+      break;
+    case BatchPolicy::kPacked:
+      plan.micro.push_back(whole_batch(lengths, /*packed=*/true));
+      break;
+    case BatchPolicy::kSortGroup: {
+      for (const Group& g : group_by_length(lengths, group_size)) {
+        MicroBatch mb;
+        mb.indices = g.indices;
+        mb.max_len = g.max_len;
+        mb.packed = false;
+        for (int idx : mb.indices) {
+          mb.valid_tokens += lengths[static_cast<std::size_t>(idx)];
+        }
+        plan.micro.push_back(std::move(mb));
+      }
+      break;
+    }
+  }
+
+  for (const MicroBatch& mb : plan.micro) {
+    plan.valid_tokens += mb.valid_tokens;
+    plan.processed_tokens += mb.processed_tokens();
+  }
+  return plan;
+}
+
+}  // namespace bt::serving

@@ -1,0 +1,67 @@
+// Batch scheduling: turns the lengths of a set of queued requests into a
+// concrete execution plan under a batching policy.
+//
+// The three policies mirror the serving strategies the paper compares:
+//   * kPadToMax  — one micro-batch, every sequence padded to the batch max
+//                  (conventional frameworks);
+//   * kSortGroup — sort by length, chunk into groups of `group_size`, pad
+//                  each group to its own max (TurboTransformer SmartBatch);
+//   * kPacked    — one micro-batch run through the padding-free pipeline,
+//                  so the compute processes exactly the valid tokens
+//                  (ByteTransformer).
+//
+// The plan is pure geometry — request indices, pad targets, and token
+// accounting — so it is unit-testable without a model and reusable by both
+// the Engine and the benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "serving/batching.h"
+
+namespace bt::serving {
+
+enum class BatchPolicy { kPadToMax, kSortGroup, kPacked };
+
+constexpr const char* batch_policy_name(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kPadToMax: return "pad-to-max";
+    case BatchPolicy::kSortGroup: return "sort+group";
+    case BatchPolicy::kPacked: return "packed";
+  }
+  return "?";
+}
+
+// One model invocation: which requests ride together and the pad target.
+struct MicroBatch {
+  std::vector<int> indices;  // positions into the scheduled length span
+  int max_len = 0;           // pad target for this invocation
+  bool packed = false;       // padding-free pipeline: compute sees valid rows
+  long long valid_tokens = 0;
+
+  // Tokens the compute pipeline processes for this invocation: the padded
+  // grid for padded geometry, exactly the valid tokens when packed.
+  long long processed_tokens() const {
+    return packed ? valid_tokens
+                  : static_cast<long long>(indices.size()) * max_len;
+  }
+};
+
+struct BatchPlan {
+  BatchPolicy policy = BatchPolicy::kPacked;
+  std::vector<MicroBatch> micro;
+  long long valid_tokens = 0;
+  long long processed_tokens = 0;
+
+  // The waste metric: tokens processed beyond the valid ones.
+  long long padding_tokens() const { return processed_tokens - valid_tokens; }
+};
+
+// Builds the execution plan for `lengths` under `policy`. `group_size` is
+// only meaningful for kSortGroup (<= 0 degenerates to one group, i.e.
+// pad-to-max geometry). Empty lengths yield an empty plan.
+BatchPlan plan_batch(BatchPolicy policy, std::span<const int> lengths,
+                     int group_size);
+
+}  // namespace bt::serving

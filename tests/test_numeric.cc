@@ -102,7 +102,7 @@ TEST(Rng, FillNormalStats) {
 TEST(Timer, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   EXPECT_GT(t.seconds(), 0.0);
   EXPECT_LT(t.seconds(), 10.0);
 }
@@ -124,7 +124,7 @@ TEST(StageTimes, ScopeAttributesOnDestruction) {
   {
     StageScope scope(&times, "stage");
     volatile int sink = 0;
-    for (int i = 0; i < 100000; ++i) sink += i;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
   }
   EXPECT_GT(times.stages().at("stage"), 0.0);
   // Null sink is a no-op.

@@ -1,11 +1,13 @@
-// Request generation and batching policies.
+// Request generation, batching policies, and the batch scheduler.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "serving/batching.h"
 #include "serving/request_gen.h"
+#include "serving/scheduler.h"
 
 namespace bt::serving {
 namespace {
@@ -95,6 +97,101 @@ TEST(Batching, SingleRequestGroup) {
   ASSERT_EQ(groups.size(), 1u);
   EXPECT_EQ(groups[0].max_len, 17);
   EXPECT_EQ(padded_tokens(groups, lens), 17);
+}
+
+TEST(Batching, EmptyLengthsYieldNoGroups) {
+  const std::vector<int> lens;
+  EXPECT_TRUE(group_by_length(lens, 4).empty());
+  EXPECT_TRUE(group_by_length(lens, 0).empty());
+  EXPECT_EQ(padded_tokens(group_by_length(lens, 4), lens), 0);
+}
+
+TEST(Batching, NonPositiveGroupSizeMeansOneGroup) {
+  const std::vector<int> lens{9, 2, 5, 7};
+  for (int gs : {0, -1, -100}) {
+    const auto groups = group_by_length(lens, gs);
+    ASSERT_EQ(groups.size(), 1u) << "group_size=" << gs;
+    EXPECT_EQ(groups[0].indices.size(), lens.size());
+    EXPECT_EQ(groups[0].max_len, 9);
+  }
+}
+
+TEST(Batching, AllEqualLengthsGroupWithoutPadding) {
+  const std::vector<int> lens(8, 7);
+  const auto groups = group_by_length(lens, 3);
+  ASSERT_EQ(groups.size(), 3u);  // 3 + 3 + 2
+  long long valid = 0;
+  for (int l : lens) valid += l;
+  for (const auto& g : groups) EXPECT_EQ(g.max_len, 7);
+  // Uniform lengths are the one case where grouping reaches zero waste.
+  EXPECT_EQ(padded_tokens(groups, lens), valid);
+}
+
+TEST(RequestGen, ArrivalsMeanInterArrivalMatchesRate) {
+  Rng rng(206);
+  for (double rate : {50.0, 400.0}) {
+    const int n = 4000;
+    const auto t = gen_arrivals(n, rate, rng);
+    // Mean inter-arrival ~ 1/rate (t.back() is the sum of n exponentials).
+    EXPECT_NEAR(t.back() / n, 1.0 / rate, 0.1 / rate) << "rate=" << rate;
+    // Exponential inter-arrivals: coefficient of variation ~ 1.
+    std::vector<double> gaps;
+    gaps.push_back(t.front());
+    for (std::size_t i = 1; i < t.size(); ++i) gaps.push_back(t[i] - t[i - 1]);
+    const double mean = t.back() / n;
+    double var = 0;
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size());
+    EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.15) << "rate=" << rate;
+  }
+}
+
+TEST(Scheduler, PadToMaxPlanIsOneGridShapedMicroBatch) {
+  const std::vector<int> lens{12, 3, 8, 16, 5};
+  const auto plan = plan_batch(BatchPolicy::kPadToMax, lens, 0);
+  ASSERT_EQ(plan.micro.size(), 1u);
+  EXPECT_FALSE(plan.micro[0].packed);
+  EXPECT_EQ(plan.micro[0].max_len, 16);
+  EXPECT_EQ(plan.valid_tokens, 44);
+  EXPECT_EQ(plan.processed_tokens, 5 * 16);
+  EXPECT_EQ(plan.padding_tokens(), 5 * 16 - 44);
+}
+
+TEST(Scheduler, PackedPlanHasZeroPaddingTokens) {
+  const std::vector<int> lens{12, 3, 8, 16, 5};
+  const auto plan = plan_batch(BatchPolicy::kPacked, lens, 0);
+  ASSERT_EQ(plan.micro.size(), 1u);
+  EXPECT_TRUE(plan.micro[0].packed);
+  EXPECT_EQ(plan.processed_tokens, plan.valid_tokens);
+  EXPECT_EQ(plan.padding_tokens(), 0);
+}
+
+TEST(Scheduler, SortGroupPlanMatchesGrouping) {
+  const std::vector<int> lens{12, 3, 8, 16, 5};
+  const auto plan = plan_batch(BatchPolicy::kSortGroup, lens, 2);
+  ASSERT_EQ(plan.micro.size(), 3u);  // 2 + 2 + 1, sorted descending
+  EXPECT_EQ(plan.micro[0].max_len, 16);
+  EXPECT_GE(plan.micro[0].max_len, plan.micro[1].max_len);
+  EXPECT_GE(plan.micro[1].max_len, plan.micro[2].max_len);
+  EXPECT_EQ(plan.padding_tokens(),
+            padded_tokens(group_by_length(lens, 2), lens) - 44);
+  // Every request appears exactly once across micro-batches.
+  std::vector<int> all;
+  for (const auto& mb : plan.micro) {
+    all.insert(all.end(), mb.indices.begin(), mb.indices.end());
+  }
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, EmptyLengthsYieldEmptyPlan) {
+  for (auto policy : {BatchPolicy::kPadToMax, BatchPolicy::kSortGroup,
+                      BatchPolicy::kPacked}) {
+    const auto plan = plan_batch(policy, {}, 4);
+    EXPECT_TRUE(plan.micro.empty());
+    EXPECT_EQ(plan.valid_tokens, 0);
+    EXPECT_EQ(plan.processed_tokens, 0);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,51 @@
+// Shared summary-statistics helpers (the percentile previously copy-pasted
+// into each binary, including its empty-vector UB).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace bt::stats {
+namespace {
+
+TEST(Stats, PercentileOfEmptySampleIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(mean({})));
+}
+
+TEST(Stats, PercentileSingleElement) {
+  for (double p : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(percentile({3.5}, p), 3.5);
+  }
+}
+
+TEST(Stats, PercentileEndpointsAreMinAndMax) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_EQ(percentile(v, 1.0), 9.0);
+  EXPECT_EQ(percentile(v, 0.5), 5.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  const std::vector<double> v{2.0, 4.0, 6.0};
+  EXPECT_EQ(percentile(v, -0.3), 2.0);
+  EXPECT_EQ(percentile(v, 1.7), 6.0);
+}
+
+TEST(Stats, PercentileSortsUnorderedInput) {
+  // Nearest-rank on n=11: p=0.9 -> index 9 of the sorted sample.
+  std::vector<double> v;
+  for (int i = 10; i >= 0; --i) v.push_back(static_cast<double>(i));
+  EXPECT_EQ(percentile(v, 0.9), 9.0);
+  EXPECT_EQ(percentile(v, 0.09), 0.0);
+}
+
+TEST(Stats, MeanOfKnownSample) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+}  // namespace
+}  // namespace bt::stats
