@@ -1,23 +1,29 @@
 // Online-serving simulation — the scenario that motivates the paper
 // (TikTok/Douyin-style NLP serving with wildly varying sentence lengths).
 //
-// Requests arrive as a Poisson process; a serving::Engine collects up to B
-// requests per scheduling round and serves them under three batching
-// policies:
+// Requests arrive as a real-time Poisson process and are submitted to a
+// serving::AsyncEngine from the arrival thread; the engine's background
+// scheduler forms batches inside a bounded batching window while earlier
+// rounds compute — so batch formation genuinely overlaps model execution,
+// unlike the old synchronous round-robin loop. Three batching policies are
+// compared:
 //   pad-to-max   — conventional frameworks,
 //   sort+group   — TurboTransformer SmartBatch proxy,
 //   packed       — ByteTransformer padding-free.
-// Prints throughput, latency percentiles, and padded-token waste per policy.
-#include <algorithm>
+// Prints throughput, end-to-end latency percentiles (arrival -> response),
+// and padded-token waste per policy.
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/model.h"
-#include "serving/engine.h"
+#include "serving/async_engine.h"
 #include "serving/request_gen.h"
 #include "tensor/tensor.h"
 
@@ -43,8 +49,9 @@ int main() {
   const int num_requests = 96;
   const int max_seq = 256;
   const int batch_size = 8;
+  const double rps = 400.0;
   const auto lengths = serving::gen_lengths(num_requests, max_seq, 0.6, rng);
-  const auto arrivals = serving::gen_arrivals(num_requests, /*rps=*/400.0, rng);
+  const auto arrivals = serving::gen_arrivals(num_requests, rps, rng);
 
   const Policy policies[] = {
       {"pad-to-max", core::OptFlags::bias_gelu_fused(),
@@ -55,60 +62,90 @@ int main() {
        serving::BatchPolicy::kPacked, 0},
   };
 
-  std::printf("serving %d requests, max_seq %d, batch %d, alpha 0.6\n\n",
-              num_requests, max_seq, batch_size);
-  std::printf("%-26s %10s %10s %10s %10s %10s\n", "policy", "total(ms)",
-              "p50(ms)", "p95(ms)", "tok/ms", "pad-waste");
+  std::printf(
+      "serving %d requests at %.0f rps, max_seq %d, batch cap %d, alpha 0.6\n"
+      "async executor: 2 ms batching window, bounded queue, Poisson "
+      "arrivals\n\n",
+      num_requests, rps, max_seq, batch_size);
+  // tok/ms(fwd) is compute-side throughput (valid tokens per forward-pass
+  // millisecond): with real-time replay, total wall time is dominated by
+  // the fixed arrival trace and would look identical across policies.
+  std::printf("%-26s %10s %10s %10s %12s %10s\n", "policy", "total(ms)",
+              "p50(ms)", "p95(ms)", "tok/ms(fwd)", "pad-waste");
 
   for (const Policy& pol : policies) {
-    serving::EngineOptions opts;
-    opts.flags = pol.flags;
-    opts.policy = pol.batching;
-    opts.group_size = pol.group_size > 0 ? pol.group_size : 4;
-    opts.max_batch_requests = batch_size;
-    serving::Engine engine(model, opts);
+    serving::AsyncEngineOptions opts;
+    opts.engine.flags = pol.flags;
+    opts.engine.policy = pol.batching;
+    opts.engine.group_size = pol.group_size > 0 ? pol.group_size : 4;
+    opts.engine.max_batch_requests = batch_size;
+    opts.max_wait_seconds = 0.002;
+    serving::AsyncEngine engine(model, opts);
 
-    std::vector<double> latency(static_cast<std::size_t>(num_requests), 0.0);
-    double clock = 0.0;  // simulated server time (s)
-    Timer wall;
-
-    for (int begin = 0; begin < num_requests; begin += batch_size) {
-      const int end = std::min(num_requests, begin + batch_size);
-      // The round starts once its last request has arrived.
-      clock = std::max(clock, arrivals[static_cast<std::size_t>(end - 1)]);
-
-      for (int i = begin; i < end; ++i) {
-        const int len = lengths[static_cast<std::size_t>(i)];
-        auto hidden = Tensor<fp16_t>({len, cfg.hidden()});
-        for (std::int64_t s = 0; s < len; ++s) {
-          for (int j = 0; j < cfg.hidden(); ++j) {
-            hidden(s, j) = fp16_t(0.01f * j);
-          }
+    // Pre-build every request tensor so construction cost does not pollute
+    // the measured latencies or delay later submissions.
+    std::vector<Tensor<fp16_t>> requests;
+    requests.reserve(static_cast<std::size_t>(num_requests));
+    for (int i = 0; i < num_requests; ++i) {
+      const int len = lengths[static_cast<std::size_t>(i)];
+      auto hidden = Tensor<fp16_t>({len, cfg.hidden()});
+      for (std::int64_t s = 0; s < len; ++s) {
+        for (int j = 0; j < cfg.hidden(); ++j) {
+          hidden(s, j) = fp16_t(0.01f * j);
         }
-        engine.submit(std::move(hidden));
       }
-
-      Timer t;
-      engine.run_batch();
-      clock += t.seconds();
-      for (int i = begin; i < end; ++i) {
-        latency[static_cast<std::size_t>(i)] =
-            (clock - arrivals[static_cast<std::size_t>(i)]) * 1e3;
-      }
+      requests.push_back(std::move(hidden));
     }
 
+    // Replay the arrival trace in real time: each request is submitted when
+    // its Poisson timestamp comes due, while the scheduler thread batches
+    // and computes concurrently.
+    std::vector<std::future<serving::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(num_requests));
+    const auto start = std::chrono::steady_clock::now();
+    Timer wall;
+    for (int i = 0; i < num_requests; ++i) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          arrivals[static_cast<std::size_t>(i)])));
+      futures.push_back(
+          engine.submit(std::move(requests[static_cast<std::size_t>(i)])));
+    }
+
+    // End-to-end latency (arrival -> response), timestamped as each future
+    // resolves. Rounds pop from the queue front, so futures resolve in
+    // submission order and waiting on them in order stays faithful — unlike
+    // queue_seconds + compute_seconds, this includes the wait behind earlier
+    // micro-batches of the same round and the gather/scatter overhead.
+    std::vector<double> latency;
+    latency.reserve(futures.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      futures[i].get();
+      const double done =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      latency.push_back((done - arrivals[i]) * 1e3);
+    }
     const double total_ms = wall.millis();
-    const auto& st = engine.stats();
-    std::printf("%-26s %10.1f %10.2f %10.2f %10.1f %9.0f%%\n", pol.name,
+    engine.stop();
+
+    const auto st = engine.stats();
+    std::printf("%-26s %10.1f %10.2f %10.2f %12.1f %9.0f%%\n", pol.name,
                 total_ms, stats::percentile(latency, 0.5),
                 stats::percentile(latency, 0.95),
-                static_cast<double>(st.valid_tokens) / total_ms,
+                static_cast<double>(st.valid_tokens) /
+                    (st.compute_seconds * 1e3),
                 100.0 * static_cast<double>(st.padding_tokens()) /
                     static_cast<double>(st.processed_tokens));
   }
 
   std::printf(
       "\npacked batching does the least redundant work per batch, which\n"
-      "shows up as both lower tail latency and higher token throughput.\n");
+      "shows up as both lower tail latency and higher token throughput;\n"
+      "the async executor overlaps the next round's batch formation with\n"
+      "the current round's compute, so arrival gaps no longer stall the\n"
+      "pipeline.\n");
   return 0;
 }

@@ -5,6 +5,38 @@
 
 namespace bt::par {
 
+namespace {
+
+// Stack of pools this thread is currently executing tasks for, so a nested
+// run() on any pool in the chain — not just the innermost — is detected and
+// executed inline. A worker blocking on a job of a pool it is already
+// inside would deadlock: with submissions serialized, that pool's outer
+// run() holds the submission slot until the nested task — which would be
+// waiting for that slot — returns. The chain matters for cross-pool
+// nesting (a task of pool A submits to pool B, whose task submits to A
+// again): only checking the innermost pool would send the A re-entry to
+// A's held submission mutex.
+struct ActiveNode {
+  const ThreadPool* pool;
+  int worker;
+  ActiveNode* prev;
+};
+thread_local ActiveNode* tls_active = nullptr;
+
+// RAII frame for "this thread is running tasks of `pool` as `worker`".
+struct ActiveTaskScope {
+  ActiveNode node;
+  ActiveTaskScope(const ThreadPool* pool, int worker)
+      : node{pool, worker, tls_active} {
+    tls_active = &node;
+  }
+  ~ActiveTaskScope() { tls_active = node.prev; }
+  ActiveTaskScope(const ActiveTaskScope&) = delete;
+  ActiveTaskScope& operator=(const ActiveTaskScope&) = delete;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -29,6 +61,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::work_on_job(Job& job, int worker_index) {
+  const ActiveTaskScope scope(this, worker_index);
   const std::int64_t chunk = std::max<std::int64_t>(1, job.chunk);
   const std::int64_t n = job.num_tasks;
   for (;;) {
@@ -62,11 +95,35 @@ void ThreadPool::worker_loop(int worker_index) {
   }
 }
 
+void ThreadPool::run_inline(std::int64_t num_tasks,
+                            const std::function<void(std::int64_t, int)>& fn,
+                            int worker_index) {
+  const ActiveTaskScope scope(this, worker_index);
+  for (std::int64_t i = 0; i < num_tasks; ++i) fn(i, worker_index);
+}
+
 void ThreadPool::run(std::int64_t num_tasks, std::int64_t chunk,
                      const std::function<void(std::int64_t, int)>& fn) {
   if (num_tasks <= 0) return;
+  for (const ActiveNode* n = tls_active; n != nullptr; n = n->prev) {
+    if (n->pool == this) {
+      // Nested run() from inside one of this pool's tasks (possibly through
+      // tasks of other pools): execute inline on the calling thread, keeping
+      // the worker index it holds in *this* pool so per-worker state stays
+      // private. Blocking on the submission mutex here would deadlock — it
+      // is held by the outer run() this task belongs to.
+      run_inline(num_tasks, fn, n->worker);
+      return;
+    }
+  }
+  // One external job at a time; concurrent submitters queue here instead of
+  // overwriting each other's current_/epoch_ slot. The single-worker and
+  // single-task fast paths serialize too: they run as worker 0, and two
+  // jobs executing as worker 0 at once would race any worker-indexed state
+  // (e.g. Device's per-worker scratch arenas).
+  std::lock_guard submit_lock(submit_mutex_);
   if (num_workers_ == 1 || num_tasks == 1) {
-    for (std::int64_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    run_inline(num_tasks, fn, /*worker_index=*/0);
     return;
   }
   auto job = std::make_shared<Job>();

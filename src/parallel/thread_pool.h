@@ -32,7 +32,17 @@ class ThreadPool {
 
   // Runs fn(task_index, worker_index) for every task in [0, num_tasks).
   // Tasks are claimed dynamically in chunks of `chunk`. Blocks until all
-  // tasks complete. Must not be called re-entrantly from inside a task.
+  // tasks complete.
+  //
+  // Thread-safe: concurrent run() calls from distinct threads serialize on a
+  // submission mutex (one job owns the pool at a time). A nested run() from
+  // inside a task executes its tasks inline on the calling thread, under the
+  // caller's worker index — so per-worker state (e.g. Device scratch arenas)
+  // stays private and the nested call can never deadlock against the outer
+  // job it is part of. Detection follows the calling thread's whole nesting
+  // chain, so same-thread cross-pool re-entry (pool A task -> pool B task ->
+  // pool A) also inlines; a cycle between two pools spanning *different*
+  // worker threads is not detectable and must be avoided by callers.
   void run(std::int64_t num_tasks, std::int64_t chunk,
            const std::function<void(std::int64_t, int)>& fn);
 
@@ -59,9 +69,17 @@ class ThreadPool {
 
   void worker_loop(int worker_index);
   void work_on_job(Job& job, int worker_index);
+  void run_inline(std::int64_t num_tasks,
+                  const std::function<void(std::int64_t, int)>& fn,
+                  int worker_index);
 
   std::vector<std::thread> threads_;
   int num_workers_ = 1;
+
+  // Serializes external submitters: exactly one job owns current_/epoch_ at
+  // a time, so a second concurrent run() waits instead of clobbering the
+  // first job's slot.
+  std::mutex submit_mutex_;
 
   std::mutex mutex_;
   std::condition_variable cv_start_;

@@ -1,0 +1,217 @@
+#include "serving/async_engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bt::serving {
+
+AsyncEngine::AsyncEngine(std::shared_ptr<const core::BertModel> model,
+                         AsyncEngineOptions opts)
+    : opts_(opts), engine_(std::move(model), opts.engine) {
+  if (opts_.max_queue < 1) {
+    throw std::invalid_argument("AsyncEngineOptions: max_queue must be >= 1");
+  }
+  if (!(opts_.max_wait_seconds >= 0.0)) {
+    throw std::invalid_argument(
+        "AsyncEngineOptions: max_wait_seconds must be >= 0");
+  }
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+AsyncEngine::AsyncEngine(core::BertModel model, AsyncEngineOptions opts)
+    : AsyncEngine(std::make_shared<const core::BertModel>(std::move(model)),
+                  opts) {}
+
+AsyncEngine::~AsyncEngine() { stop(); }
+
+std::future<Response> AsyncEngine::enqueue_reserved_locked(Request&& req,
+                                                           RequestId id) {
+  Queued q;
+  q.id = id;
+  q.hidden = std::move(req.hidden);
+  q.arrival = Clock::now();
+  std::future<Response> fut = q.promise.get_future();
+  queue_.push_back(std::move(q));
+  cv_work_.notify_one();
+  return fut;
+}
+
+std::future<Response> AsyncEngine::submit(Request req) {
+  std::unique_lock lock(mutex_);
+  // Same contract as Engine::submit, enforced here because the throw must
+  // reach the submitting thread, not the scheduler. Validate before the
+  // backpressure wait so a malformed request throws immediately instead of
+  // blocking behind a full queue first.
+  validate_request("AsyncEngine::submit", req.hidden, hidden(), req.id, ids_);
+  cv_space_.wait(lock,
+                 [&] { return stop_ || queue_.size() < opts_.max_queue; });
+  if (stop_) {
+    throw std::runtime_error("AsyncEngine::submit: engine is stopped");
+  }
+  // Re-validate-and-reserve after the wait: another submitter could have
+  // issued the same caller-supplied id while this thread was blocked. The
+  // inner engine checks again at round time against its own tracker; both
+  // run this one helper, and this tracker only issues fresh ids, so the
+  // inner check cannot fire for async traffic.
+  const RequestId id = validate_and_reserve_id("AsyncEngine::submit",
+                                               req.hidden, hidden(), req.id,
+                                               ids_);
+  return enqueue_reserved_locked(std::move(req), id);
+}
+
+std::future<Response> AsyncEngine::submit(Tensor<fp16_t> hidden) {
+  return submit(Request{-1, std::move(hidden)});
+}
+
+std::optional<std::future<Response>> AsyncEngine::try_submit(Request req) {
+  std::unique_lock lock(mutex_);
+  // Programming errors throw even when the request would be declined —
+  // otherwise a malformed request looks like transient backpressure while
+  // the queue happens to be full, and only throws once it drains. The lock
+  // is held through the reserve, so the validation cannot go stale.
+  validate_request("AsyncEngine::try_submit", req.hidden, hidden(), req.id,
+                   ids_);
+  if (stop_ || queue_.size() >= opts_.max_queue) return std::nullopt;
+  return enqueue_reserved_locked(std::move(req), ids_.reserve(req.id));
+}
+
+void AsyncEngine::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  // Concurrent stop() calls both reach here; the join mutex makes the
+  // joinable-check-then-join atomic (the loser sees joinable() == false and
+  // returns once the winner's join completed, i.e. after the drain).
+  std::lock_guard jlock(join_mutex_);
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+bool AsyncEngine::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stop_;
+}
+
+std::size_t AsyncEngine::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+EngineStats AsyncEngine::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t AsyncEngine::admit_count_locked() const {
+  // The shared admission rule keeps this window predicate in lockstep with
+  // the round Engine::run_batch actually forms.
+  return admit_count(queue_.size(), opts_.engine.max_batch_requests,
+                     opts_.engine.max_batch_tokens,
+                     [&](std::size_t i) { return queue_[i].hidden.dim(0); });
+}
+
+// A round is "full" when waiting longer cannot improve the batch: the
+// request cap is reached, admission stopped short of the whole queue, the
+// admitted prefix already carries max_batch_tokens (no later arrival of any
+// length could join — e.g. a lone oversized request should not sit out the
+// window), or the bounded queue itself is full (blocked submitters cannot
+// add work until the round dispatches).
+bool AsyncEngine::round_available_locked() const {
+  long long admitted_tokens = 0;
+  const std::size_t count = admit_count(
+      queue_.size(), opts_.engine.max_batch_requests,
+      opts_.engine.max_batch_tokens,
+      [&](std::size_t i) { return queue_[i].hidden.dim(0); },
+      &admitted_tokens);
+  return count ==
+             static_cast<std::size_t>(opts_.engine.max_batch_requests) ||
+         count < queue_.size() ||
+         (opts_.engine.max_batch_tokens > 0 &&
+          admitted_tokens >= opts_.engine.max_batch_tokens) ||
+         queue_.size() >= opts_.max_queue;
+}
+
+void AsyncEngine::scheduler_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+
+    // Batching window: hold the round open until it is full, the window
+    // since the oldest arrival closes, or shutdown starts the drain.
+    if (!stop_ && opts_.max_wait_seconds > 0.0) {
+      const auto deadline =
+          queue_.front().arrival +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(opts_.max_wait_seconds));
+      while (!stop_ && !round_available_locked() &&
+             Clock::now() < deadline) {
+        cv_work_.wait_until(lock, deadline);
+      }
+      if (queue_.empty()) continue;  // unreachable today; defensive
+    }
+
+    // Pop the admitted prefix; submitters may refill the queue while the
+    // round computes.
+    const std::size_t count = admit_count_locked();
+    std::vector<Queued> round;
+    round.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      round.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    in_flight_ += count;
+    const auto round_start = Clock::now();
+    lock.unlock();
+    cv_space_.notify_all();
+
+    // Compute outside the lock: the inner Engine is only ever touched here.
+    std::vector<Response> responses;
+    bool failed = false;
+    std::exception_ptr error;
+    try {
+      for (Queued& q : round) {
+        engine_.submit(Request{q.id, std::move(q.hidden)});
+      }
+      responses = engine_.drain();
+    } catch (...) {
+      failed = true;
+      error = std::current_exception();
+    }
+
+    // Accounting and fulfillment happen together under the lock, so
+    // pending() never counts a request whose future already resolved (and
+    // never reports zero while one is still unresolved).
+    lock.lock();
+    in_flight_ -= count;
+    stats_ = engine_.stats();
+    if (failed || responses.size() != round.size()) {
+      if (!error) {
+        error = std::make_exception_ptr(std::runtime_error(
+            "AsyncEngine: inner engine lost responses for a round"));
+      }
+      for (Queued& q : round) q.promise.set_exception(error);
+      // A mid-compute failure leaves the round's unprocessed requests
+      // queued inside the inner engine; drop them so they cannot bleed into
+      // the next round's drain() and fail healthy requests.
+      engine_.discard_pending();
+    } else {
+      // drain() returns responses in submission order == round order. The
+      // inner engine only saw each request at round start, so rewrite
+      // queue_seconds to cover the async wait (submit -> round start).
+      for (std::size_t i = 0; i < round.size(); ++i) {
+        responses[i].queue_seconds =
+            std::chrono::duration<double>(round_start - round[i].arrival)
+                .count();
+        round[i].promise.set_value(std::move(responses[i]));
+      }
+    }
+  }
+}
+
+}  // namespace bt::serving

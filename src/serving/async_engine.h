@@ -1,0 +1,136 @@
+// Asynchronous pipelined serving executor — the request-level API for
+// online traffic.
+//
+// The synchronous Engine serializes batch formation, host-side
+// gather/scatter, and model compute on the calling thread; under irregular
+// arrivals that leaves the device idle between rounds. AsyncEngine puts a
+// background scheduler thread in front of the same Engine: callers submit
+// from any number of threads and get a std::future<Response> back, while the
+// scheduler forms batches under the configured BatchPolicy and runs compute
+// — so round k's forward overlaps the arrival and admission of round k+1
+// (the TurboTransformers-style serving loop the roadmap calls for).
+//
+//   serving::AsyncEngine engine(model, opts);
+//   auto fut = engine.submit(std::move(hidden));   // any thread
+//   serving::Response r = fut.get();               // resolves on completion
+//   engine.stop();                                 // drains, then joins
+//
+// Threading model
+//   * submit()/try_submit() are thread-safe; ids are assigned in submission
+//     order under the queue lock.
+//   * One scheduler thread owns the inner Engine exclusively; responses are
+//     delivered by fulfilling the per-request promise.
+//
+// Batching window
+//   A round dispatches as soon as the queue can fill it (request cap
+//   max_batch_requests, token cap max_batch_tokens), or when the oldest
+//   queued request has waited max_wait_seconds, whichever comes first —
+//   the usual latency/throughput knob for dynamic batching.
+//
+// Backpressure
+//   The submission queue is bounded (max_queue). submit() blocks until
+//   space frees up; try_submit() returns std::nullopt instead of blocking.
+//
+// Shutdown
+//   stop() (idempotent, also run by the destructor) wakes the scheduler,
+//   drains every already-accepted request — each future still resolves —
+//   and joins the thread. Submissions after stop() throw (submit) or
+//   return std::nullopt (try_submit).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serving/engine.h"
+
+namespace bt::serving {
+
+struct AsyncEngineOptions {
+  EngineOptions engine;            // policy, caps, flags of the inner Engine
+  std::size_t max_queue = 1024;    // bounded submission queue (backpressure)
+  double max_wait_seconds = 0.002; // batching window from the oldest request;
+                                   // 0 dispatches as soon as work exists
+};
+
+class AsyncEngine {
+ public:
+  // Validates opts.engine exactly like Engine (std::invalid_argument on
+  // inconsistent options) plus max_queue >= 1 and max_wait_seconds >= 0,
+  // then starts the scheduler thread.
+  AsyncEngine(std::shared_ptr<const core::BertModel> model,
+              AsyncEngineOptions opts);
+  AsyncEngine(core::BertModel model, AsyncEngineOptions opts);
+  ~AsyncEngine();  // stop()
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  // Enqueues a request and returns the future its Response resolves on.
+  // Blocks while the queue is full. Throws std::invalid_argument on a
+  // malformed tensor or duplicate caller-supplied id (same contract as
+  // Engine::submit), std::runtime_error after stop().
+  std::future<Response> submit(Request req);
+  std::future<Response> submit(Tensor<fp16_t> hidden);
+
+  // Non-blocking variant: std::nullopt when the queue is full or the engine
+  // is stopped (backpressure signal); malformed requests still throw.
+  std::optional<std::future<Response>> try_submit(Request req);
+
+  // Drains accepted requests, resolves their futures, joins the scheduler.
+  // Idempotent; safe to call concurrently with submitters (their blocked
+  // submit() calls wake and throw).
+  void stop();
+
+  bool stopped() const;
+
+  // Requests accepted but not yet responded to (queued + in flight).
+  std::size_t pending() const;
+
+  // Snapshot of the inner engine's cumulative accounting as of the last
+  // completed round.
+  EngineStats stats() const;
+
+  const core::BertModel& model() const { return engine_.model(); }
+  const AsyncEngineOptions& options() const { return opts_; }
+  int hidden() const { return engine_.hidden(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Queued {
+    RequestId id;
+    Tensor<fp16_t> hidden;
+    std::promise<Response> promise;
+    Clock::time_point arrival;
+  };
+
+  std::future<Response> enqueue_reserved_locked(Request&& req, RequestId id);
+  bool round_available_locked() const;
+  std::size_t admit_count_locked() const;
+  void scheduler_loop();
+
+  AsyncEngineOptions opts_;
+  Engine engine_;  // owned by the scheduler thread once it starts
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   // scheduler: work arrived / stop
+  std::condition_variable cv_space_;  // submitters: queue has room / stop
+  std::deque<Queued> queue_;          // guarded by mutex_
+  std::size_t in_flight_ = 0;         // popped, promises not yet fulfilled
+  RequestIdTracker ids_;
+  EngineStats stats_;                 // snapshot, updated per round
+  bool stop_ = false;
+
+  std::mutex join_mutex_;  // serializes the joinable-check/join in stop()
+  std::thread scheduler_;  // started last, joined by stop()
+};
+
+}  // namespace bt::serving

@@ -9,7 +9,10 @@ std::vector<Group> group_by_length(std::span<const int> lengths,
                                    int group_size) {
   std::vector<int> order(lengths.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
+  // stable_sort over the iota order: equal-length requests keep ascending
+  // submission-index order, so micro-batch composition is identical across
+  // platforms (std::sort leaves ties implementation-defined).
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
     return lengths[static_cast<std::size_t>(a)] >
            lengths[static_cast<std::size_t>(b)];
   });

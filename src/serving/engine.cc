@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -50,16 +51,41 @@ Engine::Engine(core::BertModel model, EngineOptions opts)
     : Engine(std::make_shared<const core::BertModel>(std::move(model)),
              opts) {}
 
-RequestId Engine::submit(Request req) {
-  if (req.hidden.rank() != 2 || req.hidden.dim(0) < 1 ||
-      req.hidden.dim(1) != hidden()) {
-    throw std::invalid_argument(
-        "Engine::submit: hidden must be [length >= 1, " +
-        std::to_string(hidden()) + "]");
+void validate_request(const char* who, const Tensor<fp16_t>& hidden,
+                      std::int64_t hidden_dim, RequestId requested,
+                      const RequestIdTracker& ids) {
+  if (hidden.rank() != 2 || hidden.dim(0) < 1 || hidden.dim(1) != hidden_dim) {
+    throw std::invalid_argument(std::string(who) +
+                                ": hidden must be [length >= 1, " +
+                                std::to_string(hidden_dim) + "]");
   }
-  const RequestId id = req.id >= 0 ? req.id : next_id_;
-  // Keep auto-assigned ids disjoint from caller-supplied ones.
-  next_id_ = std::max(next_id_, id + 1);
+  if (requested == std::numeric_limits<RequestId>::max()) {
+    // The tracker's watermark is one past the largest issued id; issuing
+    // the maximum representable id would overflow it.
+    throw std::invalid_argument(std::string(who) + ": request id " +
+                                std::to_string(requested) + " is out of range");
+  }
+  if (requested >= 0 && ids.issued(requested)) {
+    throw std::invalid_argument(
+        std::string(who) + ": request id " + std::to_string(requested) +
+        " collides with a queued or previously issued id; duplicate "
+        "Response::ids would be indistinguishable to the caller");
+  }
+}
+
+RequestId validate_and_reserve_id(const char* who,
+                                  const Tensor<fp16_t>& hidden,
+                                  std::int64_t hidden_dim, RequestId requested,
+                                  RequestIdTracker& ids) {
+  validate_request(who, hidden, hidden_dim, requested, ids);
+  // Auto-assignment stays disjoint from caller-supplied ids: the tracker's
+  // next id is always one past the largest issued one.
+  return ids.reserve(requested);
+}
+
+RequestId Engine::submit(Request req) {
+  const RequestId id = validate_and_reserve_id("Engine::submit", req.hidden,
+                                               hidden(), req.id, ids_);
   queue_.push_back(Pending{id, std::move(req.hidden), Timer()});
   return id;
 }
@@ -71,20 +97,9 @@ RequestId Engine::submit(Tensor<fp16_t> hidden) {
 std::vector<Response> Engine::run_batch() {
   if (queue_.empty()) return {};
 
-  // Admit queue-front requests up to the round's request and token caps
-  // (always at least one, so an oversized request cannot wedge the queue).
-  std::size_t count = 0;
-  long long admitted_tokens = 0;
-  while (count < queue_.size() &&
-         count < static_cast<std::size_t>(opts_.max_batch_requests)) {
-    const long long len = queue_[count].hidden.dim(0);
-    if (count > 0 && opts_.max_batch_tokens > 0 &&
-        admitted_tokens + len > opts_.max_batch_tokens) {
-      break;
-    }
-    admitted_tokens += len;
-    ++count;
-  }
+  const std::size_t count = admit_count(
+      queue_.size(), opts_.max_batch_requests, opts_.max_batch_tokens,
+      [&](std::size_t i) { return queue_[i].hidden.dim(0); });
 
   std::vector<int> lengths(count);
   std::vector<double> queue_secs(count);
@@ -146,6 +161,12 @@ std::vector<Response> Engine::run_batch() {
   stats_.valid_tokens += plan.valid_tokens;
   stats_.processed_tokens += plan.processed_tokens;
   return responses;
+}
+
+std::size_t Engine::discard_pending() {
+  const std::size_t n = queue_.size();
+  queue_.clear();
+  return n;
 }
 
 std::vector<Response> Engine::drain() {

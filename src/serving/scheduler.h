@@ -15,6 +15,7 @@
 // the Engine and the benches.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -63,5 +64,31 @@ struct BatchPlan {
 // pad-to-max geometry). Empty lengths yield an empty plan.
 BatchPlan plan_batch(BatchPolicy policy, std::span<const int> lengths,
                      int group_size);
+
+// Admission rule shared by Engine::run_batch and AsyncEngine's batching
+// window: queue-front requests up to the request cap, stopping at the token
+// cap but always admitting at least one (so an oversized request cannot
+// wedge the queue). `len_at(i)` returns the length of the i-th queued
+// request; keeping the rule in one place guarantees the async scheduler's
+// round-fullness predicate and the engine's actual round agree. When
+// `admitted_tokens_out` is non-null it receives the admitted prefix's token
+// total (the async scheduler uses it to recognize a token-saturated round).
+template <typename LenAt>
+std::size_t admit_count(std::size_t queued, int max_requests,
+                        long long max_tokens, LenAt&& len_at,
+                        long long* admitted_tokens_out = nullptr) {
+  std::size_t count = 0;
+  long long admitted_tokens = 0;
+  while (count < queued && count < static_cast<std::size_t>(max_requests)) {
+    const long long len = len_at(count);
+    if (count > 0 && max_tokens > 0 && admitted_tokens + len > max_tokens) {
+      break;
+    }
+    admitted_tokens += len;
+    ++count;
+  }
+  if (admitted_tokens_out != nullptr) *admitted_tokens_out = admitted_tokens;
+  return count;
+}
 
 }  // namespace bt::serving

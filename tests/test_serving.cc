@@ -146,6 +146,44 @@ TEST(RequestGen, ArrivalsMeanInterArrivalMatchesRate) {
   }
 }
 
+TEST(Batching, EqualLengthTiesKeepSubmissionOrder) {
+  // Regression: group_by_length used std::sort with a length-only
+  // comparator, leaving equal-length requests in implementation-defined
+  // order — micro-batch composition was not reproducible across platforms.
+  // stable_sort ties break by ascending index.
+  const std::vector<int> lens{8, 16, 8, 4, 16, 8, 4, 16};
+  const auto groups = group_by_length(lens, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].indices, (std::vector<int>{1, 4, 7}));  // the 16s
+  EXPECT_EQ(groups[1].indices, (std::vector<int>{0, 2, 5}));  // the 8s
+  EXPECT_EQ(groups[2].indices, (std::vector<int>{3, 6}));     // the 4s
+}
+
+TEST(Batching, GroupingIsDeterministicAcrossCalls) {
+  Rng rng(207);
+  auto lens = gen_lengths(128, 64, 0.6, rng);
+  // Force many ties so the tie-break actually matters.
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    lens[i] = 1 + lens[i] % 7;
+  }
+  const auto first = group_by_length(lens, 5);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const auto again = group_by_length(lens, 5);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t g = 0; g < first.size(); ++g) {
+      EXPECT_EQ(again[g].indices, first[g].indices) << "group " << g;
+      EXPECT_EQ(again[g].max_len, first[g].max_len);
+    }
+  }
+  // And the scheduler plan built on top inherits the determinism.
+  const auto plan = plan_batch(BatchPolicy::kSortGroup, lens, 5);
+  const auto plan2 = plan_batch(BatchPolicy::kSortGroup, lens, 5);
+  ASSERT_EQ(plan.micro.size(), plan2.micro.size());
+  for (std::size_t m = 0; m < plan.micro.size(); ++m) {
+    EXPECT_EQ(plan.micro[m].indices, plan2.micro[m].indices);
+  }
+}
+
 TEST(Scheduler, PadToMaxPlanIsOneGridShapedMicroBatch) {
   const std::vector<int> lens{12, 3, 8, 16, 5};
   const auto plan = plan_batch(BatchPolicy::kPadToMax, lens, 0);

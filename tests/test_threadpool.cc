@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -109,6 +111,131 @@ TEST(ThreadPool, ResultsAreOrderIndependent) {
   for (std::int64_t i = 0; i < 4096; ++i) {
     EXPECT_EQ(out[static_cast<std::size_t>(i)], static_cast<double>(i) * 0.5);
   }
+}
+
+// Regression: run() used to publish each job into a single current_/epoch_
+// slot with no submission ordering, so two threads calling run() at once
+// clobbered each other (workers could execute the wrong job or miss tasks).
+// Hammer the pool from several external threads under drain-style load and
+// check every task of every job ran exactly once.
+TEST(ThreadPool, ConcurrentExternalSubmittersAreSerialized) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kJobsPerSubmitter = 200;
+  constexpr std::int64_t kTasks = 64;
+
+  std::vector<std::thread> submitters;
+  std::vector<std::atomic<std::int64_t>> sums(kSubmitters);
+  std::atomic<bool> bad{false};
+  for (auto& s : sums) s = 0;
+
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerSubmitter; ++j) {
+        std::vector<std::atomic<int>> counts(kTasks);
+        for (auto& c : counts) c = 0;
+        pool.run(kTasks, /*chunk=*/3, [&](std::int64_t i, int) {
+          counts[static_cast<std::size_t>(i)].fetch_add(1);
+          sums[static_cast<std::size_t>(t)].fetch_add(i + 1);
+        });
+        for (auto& c : counts) {
+          if (c.load() != 1) bad = true;
+        }
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+
+  EXPECT_FALSE(bad.load());
+  for (int t = 0; t < kSubmitters; ++t) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)].load(),
+              static_cast<std::int64_t>(kJobsPerSubmitter) * kTasks *
+                  (kTasks + 1) / 2)
+        << "submitter " << t;
+  }
+}
+
+// Regression: a nested run() from inside a worker task used to deadlock (the
+// worker waited on the job slot its own outer job occupied). Nested calls now
+// execute inline on the calling thread.
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kOuter = 64;
+  constexpr std::int64_t kInner = 32;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  for (auto& c : counts) c = 0;
+  std::atomic<bool> bad_worker{false};
+
+  pool.parallel_for(0, kOuter, 1, [&](std::int64_t i) {
+    pool.parallel_for(0, kInner, 4, [&](std::int64_t j) {
+      counts[static_cast<std::size_t>(i * kInner + j)].fetch_add(1);
+    });
+    // Nested run() with an explicit worker check: the inline execution must
+    // report a worker index inside the pool's range.
+    pool.run(1, 1, [&](std::int64_t, int worker) {
+      if (worker < 0 || worker >= pool.size()) bad_worker = true;
+    });
+  });
+
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+  EXPECT_FALSE(bad_worker.load());
+}
+
+// The single-worker and single-task fast paths execute as worker 0, so they
+// must serialize against other submitters like any job — two jobs running
+// as worker 0 at once would race worker-indexed state (Device scratch).
+TEST(ThreadPool, InlineFastPathsSerializeAgainstConcurrentSubmitters) {
+  for (const int pool_threads : {1, 4}) {
+    ThreadPool pool(pool_threads);
+    std::atomic<int> inside{0};
+    std::atomic<bool> overlapped{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (int j = 0; j < 500; ++j) {
+          // num_tasks == 1 takes the inline path on any pool size; on the
+          // 1-thread pool every call does.
+          pool.run(1, 1, [&](std::int64_t, int worker) {
+            if (worker == 0 && inside.fetch_add(1) != 0) overlapped = true;
+            if (worker == 0) inside.fetch_sub(1);
+          });
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+    EXPECT_FALSE(overlapped.load()) << "pool(" << pool_threads << ")";
+  }
+}
+
+TEST(ThreadPool, NestedRunFromExternalInlinePathAlsoInlines) {
+  // Depth-3 nesting through the single-task inline fast path must terminate
+  // and cover every index.
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.run(1, 1, [&](std::int64_t, int) {
+    pool.run(3, 1, [&](std::int64_t, int) {
+      pool.run(2, 1, [&](std::int64_t, int) { ++n; });
+    });
+  });
+  EXPECT_EQ(n.load(), 6);
+}
+
+// Same-thread cross-pool nesting A -> B -> A: the re-entry into A must be
+// detected through B's frame (A's submission mutex is held by this very
+// thread) and run inline instead of deadlocking. B's stage is single-task
+// so it executes inline on the calling A-worker — handing it to one of B's
+// own workers would be the cross-*thread* cycle the header documents as
+// undetectable and caller-forbidden.
+TEST(ThreadPool, CrossPoolNestedReentryRunsInline) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::atomic<int> n{0};
+  a.run(4, 1, [&](std::int64_t, int) {
+    b.run(1, 1, [&](std::int64_t, int) {
+      a.run(3, 1, [&](std::int64_t, int) { ++n; });
+    });
+  });
+  EXPECT_EQ(n.load(), 4 * 1 * 3);
 }
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {
