@@ -20,6 +20,7 @@
 #include "core/model.h"
 #include "core/padding.h"
 #include "core/workspace.h"
+#include "gemm/kernels/kernel.h"
 #include "parallel/device.h"
 #include "serving/batching.h"
 #include "serving/engine.h"
@@ -27,6 +28,30 @@
 #include "tensor/tensor.h"
 
 namespace bt::bench {
+
+// ---- JSON reporter plumbing -------------------------------------------------
+// bench/run_perf.sh drives the binaries with --benchmark_format=json once per
+// BT_GEMM_KERNEL variant and merges the outputs into BENCH_gemm.json /
+// BENCH_fig15.json. These helpers attach the fields the merge step reads:
+// a `gflops` / `tokens_s` rate counter and the active GEMM kernel as the
+// benchmark label, so every JSON record is self-describing.
+
+inline void set_gflops(benchmark::State& state, double flops_per_iteration) {
+  state.counters["gflops"] = benchmark::Counter(
+      flops_per_iteration * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+inline void set_tokens_rate(benchmark::State& state,
+                            double tokens_per_iteration) {
+  state.counters["tokens_s"] = benchmark::Counter(
+      tokens_per_iteration, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Label = the kernel actually dispatched (BT_GEMM_KERNEL requests that are
+// unsupported fall back, so the label is ground truth, not the request).
+inline void set_kernel_label(benchmark::State& state) {
+  state.SetLabel(gemm::kernels::name(gemm::kernels::active()));
+}
 
 inline par::Device& dev() {
   static par::Device d;  // all hardware threads

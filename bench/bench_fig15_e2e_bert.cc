@@ -56,6 +56,8 @@ void run_framework(benchmark::State& state, Framework fw) {
           ? static_cast<double>(engine.stats().padding_tokens()) /
                 static_cast<double>(engine.stats().processed_tokens)
           : 0.0;
+  set_tokens_rate(state, static_cast<double>(batch.off.valid_count));
+  set_kernel_label(state);
 }
 
 void BM_Fig15_PyTorchJIT(benchmark::State& state) {

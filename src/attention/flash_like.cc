@@ -38,13 +38,16 @@ void mha_flash_like(par::Device& dev, const PackedMhaArgs& args,
     const int len = off.seq_lens[static_cast<std::size_t>(b)];
     const std::int64_t seq_base = off.batch_offset[static_cast<std::size_t>(b)];
 
-    auto q_tile = ctx.scratch->alloc<float>(kQBlock * static_cast<std::size_t>(d));
-    auto s_tile = ctx.scratch->alloc<float>(kQBlock * static_cast<std::size_t>(kKBlock));
-    auto o_acc = ctx.scratch->alloc<float>(kQBlock * static_cast<std::size_t>(d));
-    auto kv_row = ctx.scratch->alloc<float>(static_cast<std::size_t>(d));
-    auto m_run = ctx.scratch->alloc<float>(kQBlock);
-    auto l_run = ctx.scratch->alloc<float>(kQBlock);
-    assert(!q_tile.empty() && !s_tile.empty() && !o_acc.empty());
+    auto q_tile = ctx.scratch->alloc_or_abort<float>(
+        kQBlock * static_cast<std::size_t>(d), "flash MHA Q tile");
+    auto s_tile = ctx.scratch->alloc_or_abort<float>(
+        kQBlock * static_cast<std::size_t>(kKBlock), "flash MHA score tile");
+    auto o_acc = ctx.scratch->alloc_or_abort<float>(
+        kQBlock * static_cast<std::size_t>(d), "flash MHA output tile");
+    auto kv_row = ctx.scratch->alloc_or_abort<float>(
+        static_cast<std::size_t>(d), "flash MHA KV row");
+    auto m_run = ctx.scratch->alloc_or_abort<float>(kQBlock, "flash MHA max");
+    auto l_run = ctx.scratch->alloc_or_abort<float>(kQBlock, "flash MHA sum");
 
     const fp16_t* q_bias = args.qkv_bias + 0 * hidden + h * d;
     const fp16_t* k_bias = args.qkv_bias + 1 * hidden + h * d;

@@ -78,6 +78,10 @@ struct OptFlags {
   bool fused_mha = false;       // ByteTransformer fused MHA
   PaddedMhaKind padded_mha = PaddedMhaKind::kBatched;
   FusedMhaKind fused_kind = FusedMhaKind::kDispatch;
+  // Serve weight GEMMs from the persistent pre-packed B panels built at
+  // model load (bitwise identical to packing on the fly; off = A/B lever
+  // for benchmarks and the equivalence tests).
+  bool prepacked_weights = true;
 
   static OptFlags baseline() { return {}; }
   static OptFlags layernorm_fused() {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "attention/attention.h"
+#include "core/weight_gemm.h"
 #include "gemm/epilogues.h"
 #include "gemm/gemm.h"
 #include "kernels/activation.h"
@@ -92,13 +93,15 @@ void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
   auto ffn_mid = ws.get<fp16_t>("layer.ffn_mid", rows * inner);
   auto ffn_out = ws.get<fp16_t>("layer.ffn_out", rows * h);
 
+  // Weight GEMMs are served from the persistent pre-packed panels when
+  // available — bitwise identical to packing on the fly, minus the packing.
+  const bool prepacked = flags.prepacked_weights && w.packed.ready;
+
   // GEMM #0: packed (Q,K,V) positioning encoding in one GEMM.
   {
     StageScope scope(times, "gemm0");
-    gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                       rows, 3 * h, h, 1.0f, input, h,
-                                       w.w_qkv.data(), 3 * h, 0.0f,
-                                       qkv.data(), 3 * h);
+    weight_gemm(dev, prepacked, rows, 3 * h, h, input, w.packed.qkv, w.w_qkv,
+                qkv.data());
   }
 
   // Multi-head attention (incl. bias-add and layout transforms).
@@ -136,10 +139,8 @@ void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
   // GEMM #1: attention output projection.
   {
     StageScope scope(times, "gemm1");
-    gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                       rows, h, h, 1.0f, ctx_rows.data(), h,
-                                       w.w_proj.data(), h, 0.0f,
-                                       attn_out.data(), h);
+    weight_gemm(dev, prepacked, rows, h, h, ctx_rows.data(), w.packed.proj,
+                w.w_proj, attn_out.data());
   }
 
   // Add-bias + residual + layernorm #0.
@@ -162,16 +163,11 @@ void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
     StageScope scope(times, "gemm2");
     if (flags.fuse_bias_gelu) {
       const gemm::BiasGeluEpilogue<fp16_t> ep{w.b_ffn1.data()};
-      gemm::gemm<fp16_t, fp16_t, fp16_t, gemm::IdentityATransform,
-                 gemm::BiasGeluEpilogue<fp16_t>>(
-          dev, gemm::Trans::N, gemm::Trans::N, rows, inner, h, 1.0f,
-          ln1_out.data(), h, w.w_ffn1.data(), inner, 0.0f, ffn_mid.data(),
-          inner, ep);
+      weight_gemm(dev, prepacked, rows, inner, h, ln1_out.data(),
+                  w.packed.ffn1, w.w_ffn1, ffn_mid.data(), ep);
     } else {
-      gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                         rows, inner, h, 1.0f, ln1_out.data(),
-                                         h, w.w_ffn1.data(), inner, 0.0f,
-                                         ffn_mid.data(), inner);
+      weight_gemm(dev, prepacked, rows, inner, h, ln1_out.data(),
+                  w.packed.ffn1, w.w_ffn1, ffn_mid.data());
     }
   }
   if (!flags.fuse_bias_gelu) {
@@ -182,10 +178,8 @@ void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
   // GEMM #3: FFN contraction.
   {
     StageScope scope(times, "gemm3");
-    gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                       rows, h, inner, 1.0f, ffn_mid.data(),
-                                       inner, w.w_ffn2.data(), h, 0.0f,
-                                       ffn_out.data(), h);
+    weight_gemm(dev, prepacked, rows, h, inner, ffn_mid.data(), w.packed.ffn2,
+                w.w_ffn2, ffn_out.data());
   }
 
   // Add-bias + residual + layernorm #1.

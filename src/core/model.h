@@ -20,7 +20,9 @@ namespace bt::core {
 
 class BertModel {
  public:
-  explicit BertModel(ModelWeights weights) : weights_(std::move(weights)) {}
+  explicit BertModel(ModelWeights weights) : weights_(std::move(weights)) {
+    weights_.pack_panels();
+  }
 
   const BertConfig& config() const noexcept { return weights_.config; }
   const ModelWeights& weights() const noexcept { return weights_; }

@@ -1,0 +1,36 @@
+// Weight-side GEMM dispatch shared by the encoder layers.
+//
+// Every weight GEMM in the pipeline has the same shape conventions —
+// row-major activations [rows, k] against a [k, n] weight, alpha 1,
+// beta 0 — and two interchangeable B sources: the persistent PackedB
+// panels built at model load, or the raw weight tensor packed on the fly
+// (bitwise identical; see docs/PERF.md). This helper keeps that choice in
+// one place instead of per-call-site if/else blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/half.h"
+#include "gemm/gemm.h"
+#include "gemm/packed.h"
+#include "parallel/device.h"
+#include "tensor/tensor.h"
+
+namespace bt::core {
+
+template <typename Epilogue = gemm::IdentityEpilogue>
+inline void weight_gemm(par::Device& dev, bool prepacked, std::int64_t rows,
+                        std::int64_t n, std::int64_t k, const fp16_t* a,
+                        const gemm::PackedB& packed, const Tensor<fp16_t>& w,
+                        fp16_t* c, const Epilogue& ep = {}) {
+  if (prepacked) {
+    gemm::gemm_prepacked(dev, gemm::Trans::N, rows, n, k, 1.0f, a, k, packed,
+                         0.0f, c, n, ep);
+  } else {
+    gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
+                                       rows, n, k, 1.0f, a, k, w.data(), n,
+                                       0.0f, c, n, ep);
+  }
+}
+
+}  // namespace bt::core

@@ -23,6 +23,26 @@ Tensor<fp16_t> random_bias(std::int64_t n, Rng& rng) {
 
 }  // namespace
 
+void LayerWeights::pack_panels(const BertConfig& cfg) {
+  if (packed.ready) return;
+  const std::int64_t h = cfg.hidden();
+  const std::int64_t inner = cfg.ffn_inner();
+  packed.qkv = gemm::PackedB::pack(gemm::Trans::N, w_qkv.data(), 3 * h, h, 3 * h);
+  packed.proj = gemm::PackedB::pack(gemm::Trans::N, w_proj.data(), h, h, h);
+  packed.ffn1 = gemm::PackedB::pack(gemm::Trans::N, w_ffn1.data(), inner, h, inner);
+  packed.ffn2 = gemm::PackedB::pack(gemm::Trans::N, w_ffn2.data(), h, inner, h);
+  if (cfg.kind == ModelKind::kDeberta) {
+    packed.pos_key = gemm::PackedB::pack(gemm::Trans::N, w_pos_key.data(), h, h, h);
+    packed.pos_query =
+        gemm::PackedB::pack(gemm::Trans::N, w_pos_query.data(), h, h, h);
+  }
+  packed.ready = true;
+}
+
+void ModelWeights::pack_panels() {
+  for (auto& layer : layers) layer.pack_panels(config);
+}
+
 LayerWeights LayerWeights::random(const BertConfig& cfg, Rng& rng) {
   const std::int64_t h = cfg.hidden();
   const std::int64_t inner = cfg.ffn_inner();

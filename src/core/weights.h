@@ -12,6 +12,7 @@
 #include "common/half.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "gemm/packed.h"
 #include "tensor/tensor.h"
 
 namespace bt::core {
@@ -34,6 +35,24 @@ struct LayerWeights {
   Tensor<fp16_t> w_pos_key;    // [H, H]
   Tensor<fp16_t> w_pos_query;  // [H, H]
 
+  // Persistent pre-packed B panels for every weight-side GEMM of the layer,
+  // built once at model load (ModelWeights::pack_panels). The FP32 blocked
+  // layout lets the GEMM mainloop skip pack_b_panel entirely; ~2x the FP16
+  // weight bytes of extra memory (see docs/PERF.md).
+  struct PackedPanels {
+    gemm::PackedB qkv;    // op = N, [H, 3H]
+    gemm::PackedB proj;   // op = N, [H, H]
+    gemm::PackedB ffn1;   // op = N, [H, ffn_inner]
+    gemm::PackedB ffn2;   // op = N, [ffn_inner, H]
+    gemm::PackedB pos_key;    // DeBERTa only
+    gemm::PackedB pos_query;  // DeBERTa only
+    bool ready = false;
+  };
+  PackedPanels packed;
+
+  // Fills `packed` from the weight tensors (idempotent).
+  void pack_panels(const BertConfig& cfg);
+
   static LayerWeights random(const BertConfig& cfg, Rng& rng);
 };
 
@@ -47,6 +66,10 @@ struct ModelWeights {
   const LayerWeights& layer(int i) const {
     return layers[config.share_layers ? 0 : static_cast<std::size_t>(i)];
   }
+
+  // Builds every layer's PackedPanels. Called by BertModel at construction
+  // so both randomly initialized and deserialized weights arrive packed.
+  void pack_panels();
 
   static ModelWeights random(const BertConfig& cfg, Rng& rng);
 };

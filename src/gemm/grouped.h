@@ -6,14 +6,24 @@
 // run one attention unit per (batch, head) pair at its true sequence length
 // — no padding — since, unlike batched GEMM, no shape uniformity is needed
 // (paper Sec. III-E2, Figs. 5-6).
+//
+// B panels: each CTA keeps a scratch stripe targeted at the (problem,
+// tile_n) column it is currently working; consecutive tiles of the same
+// column (always the case when a problem has a single column of output
+// tiles, e.g. the P V GEMM with n = head_size) reuse the packed panels
+// instead of repacking per tile. A problem may alternatively carry a
+// persistent PackedB (problem.packed_b), which bypasses packing entirely.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "gemm/microkernel.h"
+#include "gemm/packed.h"
+#include "gemm/panel_cache.h"
 #include "gemm/tile_visitor.h"
 #include "parallel/device.h"
 
@@ -30,6 +40,9 @@ struct GroupedProblem {
   std::int64_t ldb = 0;
   TC* c = nullptr;
   std::int64_t ldc = 0;
+  // Optional persistent panels for op(B); when set, (b, ldb) are ignored
+  // and the mainloop performs no B packing for this problem.
+  const PackedB* packed_b = nullptr;
 };
 
 // Scheduler-visit prefetch width (paper default: one warp = 32 tiles).
@@ -46,8 +59,15 @@ void grouped_gemm(par::Device& dev, Trans ta, Trans tb,
   if (problems.empty()) return;
   std::vector<std::pair<std::int64_t, std::int64_t>> grids;
   grids.reserve(problems.size());
+  std::int64_t max_dynamic_k_blocks = 0;
   for (const auto& p : problems) {
     grids.emplace_back(ceil_div(p.m, TileShape::kM), ceil_div(p.n, TileShape::kN));
+    assert(p.packed_b == nullptr ||
+           (p.packed_b->k() == p.k && p.packed_b->n() == p.n));
+    if (p.packed_b == nullptr) {
+      max_dynamic_k_blocks =
+          std::max(max_dynamic_k_blocks, ceil_div(p.k, TileShape::kK));
+    }
   }
   TileVisitor visitor(grids, prefetch);
   if (visitor.total_tiles() == 0) return;
@@ -58,9 +78,13 @@ void grouped_gemm(par::Device& dev, Trans ta, Trans tb,
   grid.x = static_cast<int>(
       std::min<std::int64_t>(dev.workers(), visitor.total_tiles()));
   dev.launch(grid, [&](par::CtaContext& ctx) {
-    auto panel_a = ctx.scratch->alloc<float>(TileShape::kM * TileShape::kK);
-    auto panel_b = ctx.scratch->alloc<float>(TileShape::kK * TileShape::kN);
-    auto acc = ctx.scratch->alloc<float>(TileShape::kM * TileShape::kN);
+    auto panel_a = ctx.scratch->alloc_or_abort<float>(
+        TileShape::kM * TileShape::kK, "gemm A panel");
+    auto acc = ctx.scratch->alloc_or_abort<float>(
+        TileShape::kM * TileShape::kN, "gemm accumulator");
+    BStripeCache<TB> stripe(*ctx.scratch, max_dynamic_k_blocks);
+    int stripe_problem = -1;
+    std::int64_t stripe_tile_n = -1;
     int cursor = -1;
     std::int64_t begin = 0;
     std::int64_t end = 0;
@@ -68,9 +92,24 @@ void grouped_gemm(par::Device& dev, Trans ta, Trans tb,
       for (std::int64_t g = begin; g < end; ++g) {
         const TileCoord tc = visitor.locate(g, cursor);
         const auto& p = problems[static_cast<std::size_t>(tc.problem)];
-        compute_tile(tc.problem, ta, tb, p.m, p.n, p.k, alpha, p.a, p.lda,
-                     p.b, p.ldb, beta, p.c, p.ldc, tc.tile_m, tc.tile_n,
-                     panel_a.data(), panel_b.data(), acc.data(), at, ep);
+        if (p.packed_b != nullptr) {
+          compute_tile_bsrc(
+              tc.problem, ta, p.m, p.n, p.k, alpha, p.a, p.lda,
+              [&](std::int64_t k0, int /*kc*/) {
+                return p.packed_b->panel(tc.tile_n, k0);
+              },
+              beta, p.c, p.ldc, tc.tile_m, tc.tile_n, panel_a.data(),
+              acc.data(), at, ep);
+          continue;
+        }
+        if (tc.problem != stripe_problem || tc.tile_n != stripe_tile_n) {
+          stripe.target(tb, p.b, p.ldb, p.k, p.n, tc.tile_n);
+          stripe_problem = tc.problem;
+          stripe_tile_n = tc.tile_n;
+        }
+        compute_tile_bsrc(tc.problem, ta, p.m, p.n, p.k, alpha, p.a, p.lda,
+                          stripe, beta, p.c, p.ldc, tc.tile_m, tc.tile_n,
+                          panel_a.data(), acc.data(), at, ep);
       }
     }
   });

@@ -1,0 +1,123 @@
+// Kernel selection: cpuid-style detection once at startup, overridable via
+// BT_GEMM_KERNEL=scalar|vec|avx2 for A/B benchmarking, and force() for
+// tests. The active kernel is stored as an atomic function pointer so the
+// hot-path dispatch is a single relaxed load.
+#include "gemm/kernels/kernel.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bt::gemm::kernels {
+
+namespace {
+
+bool host_has_avx2_fma() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Kind detect_best() noexcept {
+  if (supported(Kind::kAvx2)) return Kind::kAvx2;
+  return Kind::kVec;
+}
+
+Kind initial_kind() noexcept {
+  const char* env = std::getenv("BT_GEMM_KERNEL");
+  if (env == nullptr || env[0] == '\0') return detect_best();
+  Kind requested;
+  if (!parse(env, &requested)) {
+    std::fprintf(stderr,
+                 "bt: BT_GEMM_KERNEL=%s is not one of scalar|vec|avx2; "
+                 "using %s\n",
+                 env, name(detect_best()));
+    return detect_best();
+  }
+  if (!supported(requested)) {
+    std::fprintf(stderr,
+                 "bt: BT_GEMM_KERNEL=%s is unsupported on this build/host; "
+                 "using %s\n",
+                 env, name(detect_best()));
+    return detect_best();
+  }
+  return requested;
+}
+
+struct State {
+  std::atomic<Kind> kind;
+  std::atomic<TileMultiplyFn> fn;
+  State() {
+    const Kind k = initial_kind();
+    kind.store(k, std::memory_order_relaxed);
+    fn.store(kernels::fn(k), std::memory_order_relaxed);
+  }
+};
+
+State& state() noexcept {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+const char* name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kScalar: return "scalar";
+    case Kind::kVec: return "vec";
+    case Kind::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool parse(std::string_view text, Kind* out) noexcept {
+  if (text == "scalar") {
+    *out = Kind::kScalar;
+  } else if (text == "vec") {
+    *out = Kind::kVec;
+  } else if (text == "avx2") {
+    *out = Kind::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool supported(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kScalar:
+    case Kind::kVec:
+      return true;
+    case Kind::kAvx2:
+      return detail::avx2_kernel_compiled() && host_has_avx2_fma();
+  }
+  return false;
+}
+
+TileMultiplyFn fn(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kScalar: return &tile_multiply_scalar;
+    case Kind::kVec: return &tile_multiply_vec;
+    case Kind::kAvx2: return &tile_multiply_avx2;
+  }
+  return &tile_multiply_scalar;
+}
+
+Kind active() noexcept { return state().kind.load(std::memory_order_relaxed); }
+
+bool force(Kind kind) noexcept {
+  if (!supported(kind)) return false;
+  state().kind.store(kind, std::memory_order_relaxed);
+  state().fn.store(fn(kind), std::memory_order_relaxed);
+  return true;
+}
+
+void tile_multiply(const float* panel_a, int mc, const float* panel_b, int kc,
+                   float* acc) {
+  state().fn.load(std::memory_order_relaxed)(panel_a, mc, panel_b, kc, acc);
+}
+
+}  // namespace bt::gemm::kernels

@@ -1,0 +1,81 @@
+// Runtime-dispatched GEMM microkernels.
+//
+// The blocked mainloop (gemm/microkernel.h) funnels every FLOP of the
+// pipeline through one primitive:
+//
+//   acc[mc][kPanelN] += panel_a[mc][kPanelK] * panel_b[kc][kPanelN]
+//
+// with both panels pre-packed, zero-padded FP32. This header exposes three
+// interchangeable implementations of that primitive:
+//
+//   * kScalar — the plain triple loop (the original seed kernel; baseline)
+//   * kVec    — 8-wide GCC generic-vector kernel, portable to any ISA the
+//               compiler can lower 256-bit vectors to
+//   * kAvx2   — explicit 6x16 register-blocked AVX2+FMA kernel (six rows of
+//               two ymm accumulators held in registers across the k loop)
+//
+// The active kernel is selected once at startup: BT_GEMM_KERNEL=scalar|vec|
+// avx2 overrides, otherwise cpuid-style detection picks the best supported
+// variant. All three accumulate each output element over p in ascending
+// order, so — provided FMA contraction is uniform across the build (see
+// BT_NATIVE_ARCH in CMakeLists.txt) — they are bitwise interchangeable and
+// A/B benchmarking never changes results.
+#pragma once
+
+#include <string_view>
+
+namespace bt::gemm::kernels {
+
+// Panel geometry shared with gemm::TileShape (static_asserted there).
+inline constexpr int kPanelM = 64;   // max rows per A panel / acc tile
+inline constexpr int kPanelN = 64;   // acc / B panel row width
+inline constexpr int kPanelK = 128;  // A panel row stride / max k per block
+
+enum class Kind : int { kScalar = 0, kVec = 1, kAvx2 = 2 };
+inline constexpr int kNumKinds = 3;
+
+using TileMultiplyFn = void (*)(const float* panel_a, int mc,
+                                const float* panel_b, int kc, float* acc);
+
+// The three implementations. tile_multiply_avx2 falls back to the vec
+// kernel when the toolchain could not build AVX2 code (it is then never
+// selected by dispatch — supported(kAvx2) reports false).
+void tile_multiply_scalar(const float* panel_a, int mc, const float* panel_b,
+                          int kc, float* acc);
+void tile_multiply_vec(const float* panel_a, int mc, const float* panel_b,
+                       int kc, float* acc);
+void tile_multiply_avx2(const float* panel_a, int mc, const float* panel_b,
+                        int kc, float* acc);
+
+const char* name(Kind kind) noexcept;
+
+// Parses "scalar" / "vec" / "avx2"; returns false on anything else.
+bool parse(std::string_view text, Kind* out) noexcept;
+
+// Compile-time *and* runtime availability (kAvx2 needs both the kernel
+// compiled and the host CPU advertising AVX2+FMA).
+bool supported(Kind kind) noexcept;
+
+// The kernel in use: BT_GEMM_KERNEL if set (unsupported or unparsable
+// values warn on stderr and fall back to detection), else the best
+// supported variant.
+Kind active() noexcept;
+
+// Forces a kernel for tests / A-B benchmarks. Returns false (and keeps the
+// current kernel) when `kind` is unsupported on this build/host.
+bool force(Kind kind) noexcept;
+
+// Implementation function for a kind (for direct calls in tests).
+TileMultiplyFn fn(Kind kind) noexcept;
+
+// Dispatches to the active kernel.
+void tile_multiply(const float* panel_a, int mc, const float* panel_b, int kc,
+                   float* acc);
+
+namespace detail {
+// Whether avx2.cc was actually built with AVX2+FMA (CMake probes the flags;
+// portable builds compile it as a vec alias).
+bool avx2_kernel_compiled() noexcept;
+}  // namespace detail
+
+}  // namespace bt::gemm::kernels

@@ -1,4 +1,4 @@
-// Blocked GEMM microkernel with fusion hooks.
+// Blocked GEMM mainloop with fusion hooks.
 //
 // Layout mirrors the CUTLASS kernels the paper builds on:
 //   * operands are packed into per-CTA scratch panels ("shared memory"),
@@ -9,14 +9,23 @@
 //   * the accumulator tile is the *epilogue fusion* hook — bias+GELU and the
 //     softmax partial reduction run on the FP32 accumulator before it is
 //     stored (paper Sec. III-C2 / Fig. 8).
+//
+// The inner product itself lives in gemm/kernels/ (runtime-dispatched
+// scalar / generic-vector / AVX2 microkernels); this header owns packing,
+// the k loop, and the epilogue. compute_tile_bsrc abstracts *where* the B
+// panel comes from — packed on the fly into scratch, served from a
+// persistent prepacked weight panel (gemm/packed.h), or from a per-CTA
+// column stripe reused across the tile_m loop.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 #include "common/half.h"
 #include "common/numeric.h"
+#include "gemm/kernels/kernel.h"
 
 namespace bt::gemm {
 
@@ -24,10 +33,11 @@ enum class Trans : std::uint8_t { N, T };
 
 // CTA tile shape. 64x64 output tile with K blocked by 128 keeps all three
 // panels (A, B, accumulator) inside the default 164 KiB scratch arena.
+// Geometry is shared with the dispatched microkernels.
 struct TileShape {
-  static constexpr int kM = 64;
-  static constexpr int kN = 64;
-  static constexpr int kK = 128;
+  static constexpr int kM = kernels::kPanelM;
+  static constexpr int kN = kernels::kPanelN;
+  static constexpr int kK = kernels::kPanelK;
 };
 
 // Default hooks: identity mainloop transform / identity epilogue.
@@ -54,7 +64,8 @@ concept HasTileHook = requires(E e, int p, std::int64_t r0, std::int64_t c0,
 };
 
 // Packs an mc x kc block of op(A) into a zero-padded kM x kK FP32 panel,
-// applying the mainloop transform to each loaded element.
+// applying the mainloop transform to each loaded element. The identity
+// transform takes the whole-row widening path (F16C-vectorized for FP16).
 template <typename TA, typename ATransform>
 inline void pack_a_panel(Trans ta, const TA* a, std::int64_t lda,
                          std::int64_t row0, std::int64_t k0, int mc, int kc,
@@ -64,7 +75,11 @@ inline void pack_a_panel(Trans ta, const TA* a, std::int64_t lda,
     const std::int64_t row = row0 + i;
     if (ta == Trans::N) {
       const TA* src = a + row * lda + k0;
-      for (int p = 0; p < kc; ++p) dst[p] = at(problem, row, load_f32(src[p]));
+      if constexpr (std::is_same_v<ATransform, IdentityATransform>) {
+        convert_row_f32(src, dst, kc);
+      } else {
+        for (int p = 0; p < kc; ++p) dst[p] = at(problem, row, load_f32(src[p]));
+      }
     } else {
       const TA* src = a + k0 * lda + row;
       for (int p = 0; p < kc; ++p) {
@@ -79,6 +94,7 @@ inline void pack_a_panel(Trans ta, const TA* a, std::int64_t lda,
 
 // Packs a kc x nc block of op(B) into a zero-padded kK x kN FP32 panel.
 // Zero padding lets the inner product loop run at the full constant width.
+// No-transpose rows widen whole-row (F16C-vectorized for FP16).
 template <typename TB>
 inline void pack_b_panel(Trans tb, const TB* b, std::int64_t ldb,
                          std::int64_t k0, std::int64_t col0, int kc, int nc,
@@ -87,7 +103,7 @@ inline void pack_b_panel(Trans tb, const TB* b, std::int64_t ldb,
     float* dst = panel + static_cast<std::int64_t>(p) * TileShape::kN;
     if (tb == Trans::N) {
       const TB* src = b + (k0 + p) * ldb + col0;
-      for (int j = 0; j < nc; ++j) dst[j] = load_f32(src[j]);
+      convert_row_f32(src, dst, nc);
     } else {
       const TB* src = b + col0 * ldb + (k0 + p);
       for (int j = 0; j < nc; ++j) {
@@ -100,35 +116,20 @@ inline void pack_b_panel(Trans tb, const TB* b, std::int64_t ldb,
   }
 }
 
-// acc[mc][kN] += panelA[mc][kK] * panelB[kc][kN].  The j-loop runs at the
-// full padded width so the compiler emits straight-line FMA vector code.
-inline void tile_multiply(const float* panel_a, int mc, const float* panel_b,
-                          int kc, float* acc) {
-  for (int i = 0; i < mc; ++i) {
-    const float* a_row = panel_a + static_cast<std::int64_t>(i) * TileShape::kK;
-    float* acc_row = acc + static_cast<std::int64_t>(i) * TileShape::kN;
-    for (int p = 0; p < kc; ++p) {
-      const float av = a_row[p];
-      const float* b_row = panel_b + static_cast<std::int64_t>(p) * TileShape::kN;
-      for (int j = 0; j < TileShape::kN; ++j) {
-        acc_row[j] += av * b_row[j];
-      }
-    }
-  }
-}
-
 // Computes one kM x kN output tile of
 //   C = epilogue(alpha * op(A) @ op(B)) + beta * C
-// for a single problem. `panel_a/panel_b/acc` point into CTA scratch.
-template <typename TA, typename TB, typename TC, typename ATransform,
+// for a single problem, with B panels served by `bsrc(k0, kc)` — a callable
+// returning the packed kK x kN FP32 panel for K block [k0, k0 + kc).
+// `panel_a` and `acc` point into CTA scratch.
+template <typename TA, typename TC, typename BSrc, typename ATransform,
           typename Epilogue>
-inline void compute_tile(int problem, Trans ta, Trans tb, std::int64_t m,
-                         std::int64_t n, std::int64_t k, float alpha,
-                         const TA* a, std::int64_t lda, const TB* b,
-                         std::int64_t ldb, float beta, TC* c, std::int64_t ldc,
-                         std::int64_t tile_m, std::int64_t tile_n,
-                         float* panel_a, float* panel_b, float* acc,
-                         const ATransform& at, const Epilogue& ep) {
+inline void compute_tile_bsrc(int problem, Trans ta, std::int64_t m,
+                              std::int64_t n, std::int64_t k, float alpha,
+                              const TA* a, std::int64_t lda, BSrc&& bsrc,
+                              float beta, TC* c, std::int64_t ldc,
+                              std::int64_t tile_m, std::int64_t tile_n,
+                              float* panel_a, float* acc, const ATransform& at,
+                              const Epilogue& ep) {
   const std::int64_t row0 = tile_m * TileShape::kM;
   const std::int64_t col0 = tile_n * TileShape::kN;
   const int mc = static_cast<int>(std::min<std::int64_t>(TileShape::kM, m - row0));
@@ -138,8 +139,8 @@ inline void compute_tile(int problem, Trans ta, Trans tb, std::int64_t m,
   for (std::int64_t k0 = 0; k0 < k; k0 += TileShape::kK) {
     const int kc = static_cast<int>(std::min<std::int64_t>(TileShape::kK, k - k0));
     pack_a_panel(ta, a, lda, row0, k0, mc, kc, panel_a, problem, at);
-    pack_b_panel(tb, b, ldb, k0, col0, kc, nc, panel_b);
-    tile_multiply(panel_a, mc, panel_b, kc, acc);
+    const float* panel_b = bsrc(k0, kc);
+    kernels::tile_multiply(panel_a, mc, panel_b, kc, acc);
   }
 
   if (alpha != 1.0f) {
@@ -167,6 +168,27 @@ inline void compute_tile(int problem, Trans ta, Trans tb, std::int64_t m,
       }
     }
   }
+}
+
+// Pack-on-the-fly form: B is packed into `panel_b` scratch per K block.
+template <typename TA, typename TB, typename TC, typename ATransform,
+          typename Epilogue>
+inline void compute_tile(int problem, Trans ta, Trans tb, std::int64_t m,
+                         std::int64_t n, std::int64_t k, float alpha,
+                         const TA* a, std::int64_t lda, const TB* b,
+                         std::int64_t ldb, float beta, TC* c, std::int64_t ldc,
+                         std::int64_t tile_m, std::int64_t tile_n,
+                         float* panel_a, float* panel_b, float* acc,
+                         const ATransform& at, const Epilogue& ep) {
+  const std::int64_t col0 = tile_n * TileShape::kN;
+  const int nc = static_cast<int>(std::min<std::int64_t>(TileShape::kN, n - col0));
+  compute_tile_bsrc(
+      problem, ta, m, n, k, alpha, a, lda,
+      [&](std::int64_t k0, int kc) -> const float* {
+        pack_b_panel(tb, b, ldb, k0, col0, kc, nc, panel_b);
+        return panel_b;
+      },
+      beta, c, ldc, tile_m, tile_n, panel_a, acc, at, ep);
 }
 
 }  // namespace bt::gemm

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/weight_gemm.h"
 #include "gemm/batched.h"
 #include "gemm/epilogues.h"
 #include "gemm/gemm.h"
@@ -41,15 +42,11 @@ void disentangled_attention(par::Device& dev, const core::BertConfig& cfg,
   // Kr / Qr: project the shared relative-embedding table once per layer.
   auto kr = ws.get<fp16_t>("deberta.kr", static_cast<std::int64_t>(buckets) * h);
   auto qr = ws.get<fp16_t>("deberta.qr", static_cast<std::int64_t>(buckets) * h);
-  gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                     buckets, h, h, 1.0f,
-                                     model.rel_embed.data(), h,
-                                     w.w_pos_key.data(), h, 0.0f, kr.data(), h);
-  gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                     buckets, h, h, 1.0f,
-                                     model.rel_embed.data(), h,
-                                     w.w_pos_query.data(), h, 0.0f, qr.data(),
-                                     h);
+  const bool prepacked = flags.prepacked_weights && w.packed.ready;
+  core::weight_gemm(dev, prepacked, buckets, h, h, model.rel_embed.data(),
+                    w.packed.pos_key, w.w_pos_key, kr.data());
+  core::weight_gemm(dev, prepacked, buckets, h, h, model.rel_embed.data(),
+                    w.packed.pos_query, w.w_pos_query, qr.data());
 
   const std::int64_t score_sz =
       static_cast<std::int64_t>(batch) * heads * s * s;
@@ -142,12 +139,12 @@ void deberta_layer_forward(par::Device& dev, const core::BertConfig& cfg,
   auto ffn_mid = ws.get<fp16_t>("layer.ffn_mid", rows * inner);
   auto ffn_out = ws.get<fp16_t>("layer.ffn_out", rows * h);
 
+  const bool prepacked = flags.prepacked_weights && w.packed.ready;
+
   {
     StageScope scope(times, "gemm0");
-    gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                       rows, 3 * h, h, 1.0f, input, h,
-                                       w.w_qkv.data(), 3 * h, 0.0f,
-                                       qkv.data(), 3 * h);
+    core::weight_gemm(dev, prepacked, rows, 3 * h, h, input, w.packed.qkv,
+                      w.w_qkv, qkv.data());
   }
 
   {
@@ -182,10 +179,8 @@ void deberta_layer_forward(par::Device& dev, const core::BertConfig& cfg,
 
   {
     StageScope scope(times, "gemm1");
-    gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                       rows, h, h, 1.0f, ctx_rows.data(), h,
-                                       w.w_proj.data(), h, 0.0f,
-                                       attn_out.data(), h);
+    core::weight_gemm(dev, prepacked, rows, h, h, ctx_rows.data(),
+                      w.packed.proj, w.w_proj, attn_out.data());
   }
   {
     StageScope scope(times, "layernorm0");
@@ -204,16 +199,11 @@ void deberta_layer_forward(par::Device& dev, const core::BertConfig& cfg,
     StageScope scope(times, "gemm2");
     if (flags.fuse_bias_gelu) {
       const gemm::BiasGeluEpilogue<fp16_t> ep{w.b_ffn1.data()};
-      gemm::gemm<fp16_t, fp16_t, fp16_t, gemm::IdentityATransform,
-                 gemm::BiasGeluEpilogue<fp16_t>>(
-          dev, gemm::Trans::N, gemm::Trans::N, rows, inner, h, 1.0f,
-          ln1_out.data(), h, w.w_ffn1.data(), inner, 0.0f, ffn_mid.data(),
-          inner, ep);
+      core::weight_gemm(dev, prepacked, rows, inner, h, ln1_out.data(),
+                        w.packed.ffn1, w.w_ffn1, ffn_mid.data(), ep);
     } else {
-      gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                         rows, inner, h, 1.0f, ln1_out.data(),
-                                         h, w.w_ffn1.data(), inner, 0.0f,
-                                         ffn_mid.data(), inner);
+      core::weight_gemm(dev, prepacked, rows, inner, h, ln1_out.data(),
+                        w.packed.ffn1, w.w_ffn1, ffn_mid.data());
     }
   }
   if (!flags.fuse_bias_gelu) {
@@ -222,10 +212,8 @@ void deberta_layer_forward(par::Device& dev, const core::BertConfig& cfg,
   }
   {
     StageScope scope(times, "gemm3");
-    gemm::gemm<fp16_t, fp16_t, fp16_t>(dev, gemm::Trans::N, gemm::Trans::N,
-                                       rows, h, inner, 1.0f, ffn_mid.data(),
-                                       inner, w.w_ffn2.data(), h, 0.0f,
-                                       ffn_out.data(), h);
+    core::weight_gemm(dev, prepacked, rows, h, inner, ffn_mid.data(),
+                      w.packed.ffn2, w.w_ffn2, ffn_out.data());
   }
   {
     StageScope scope(times, "layernorm1");

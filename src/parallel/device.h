@@ -11,6 +11,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <span>
 #include <vector>
@@ -42,7 +44,7 @@ class CtaScratch {
   std::size_t used() const noexcept { return used_; }
 
   // Aligned typed allocation; returns empty span when capacity is exceeded
-  // (callers assert or fall back, as CUDA kernels do at compile time).
+  // (callers check and fall back, as CUDA kernels do at compile time).
   template <typename T>
   std::span<T> alloc(std::size_t n) {
     const std::size_t align = alignof(T) > 16 ? alignof(T) : 16;
@@ -51,6 +53,21 @@ class CtaScratch {
     if (offset + bytes > buf_.size()) return {};
     used_ = offset + bytes;
     return {reinterpret_cast<T*>(buf_.data() + offset), n};
+  }
+
+  // Allocation that a kernel's tiling has already sized to fit: a shortfall
+  // is a bug (the CUDA analogue fails at compile time), so fail loudly
+  // instead of handing back an empty span for the caller to dereference.
+  template <typename T>
+  std::span<T> alloc_or_abort(std::size_t n, const char* what) {
+    auto s = alloc<T>(n);
+    if (s.size() != n) {
+      std::fprintf(stderr,
+                   "CtaScratch: %s needs %zu bytes but only %zu of %zu remain\n",
+                   what, n * sizeof(T), capacity() - used(), capacity());
+      std::abort();
+    }
+    return s;
   }
 
  private:

@@ -38,7 +38,7 @@ TEST(Epilogue, BiasMatchesSeparateAddBias) {
   auto unfused = Tensor<fp16_t>::zeros({m, n});
   gemm_f16(dev(), Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
            0.0f, unfused.data(), n);
-  kernels::add_bias(dev(), unfused.data(), bias.data(), m, n);
+  bt::kernels::add_bias(dev(), unfused.data(), bias.data(), m, n);
 
   // Fused avoids one FP16 round trip, so allow one ulp of divergence.
   EXPECT_LT(max_abs_diff(fused, unfused), 2e-2);
@@ -62,7 +62,7 @@ TEST(Epilogue, BiasGeluMatchesSeparateKernels) {
   auto unfused = Tensor<fp16_t>::zeros({m, n});
   gemm_f16(dev(), Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n,
            0.0f, unfused.data(), n);
-  kernels::add_bias_gelu(dev(), unfused.data(), bias.data(), m, n);
+  bt::kernels::add_bias_gelu(dev(), unfused.data(), bias.data(), m, n);
 
   // The unfused path rounds the GEMM result to FP16 *before* GELU; with
   // k = 96 unit-variance inputs the pre-activation reaches |v| ~ 40 where

@@ -2,8 +2,10 @@
 // configuration, packed/padded equivalence at model scope.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
+#include "attention/attention.h"
 #include "core/model.h"
 #include "parallel/device.h"
 #include "test_utils.h"
@@ -150,6 +152,76 @@ TEST(Model, ScaledConfigPreservesHeadSize) {
   EXPECT_EQ(cfg.layers, 4);
   EXPECT_EQ(cfg.head_size, 64);
   EXPECT_EQ(cfg.hidden(), 256);
+}
+
+TEST(Model, PrepackedWeightsForwardIsBitwiseIdentical) {
+  // The persistent B panels are byte-identical to what pack_b_panel builds
+  // on the fly, so the whole forward pass must match bit for bit — for the
+  // packed and the padded pipeline alike.
+  const auto cfg = tiny_config(ModelKind::kBert, 2, 2, 32);
+  Rng rng(56);
+  auto model = BertModel::random(cfg, rng);
+  ASSERT_TRUE(model.weights().layer(0).packed.ready);
+  auto in = test::make_varlen_input(dev(), std::vector<int>{11, 7, 16}, 16,
+                                    cfg.hidden(), rng);
+  for (auto base : {OptFlags::baseline(), OptFlags::byte_transformer()}) {
+    OptFlags on = base;
+    on.prepacked_weights = true;
+    OptFlags off = base;
+    off.prepacked_weights = false;
+    Workspace ws1;
+    Workspace ws2;
+    auto out_on = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+    auto out_off = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+    model.forward(dev(), in.padded.data(), out_on.data(), in.off, on, ws1);
+    model.forward(dev(), in.padded.data(), out_off.data(), in.off, off, ws2);
+    for (std::int64_t i = 0; i < out_on.size(); ++i) {
+      ASSERT_EQ(out_on.data()[i].bits(), out_off.data()[i].bits())
+          << "flags=" << base.name() << " elem " << i;
+    }
+  }
+}
+
+TEST(Model, PrepackedWeightsForwardIsBitwiseIdenticalDeberta) {
+  const auto cfg = tiny_config(ModelKind::kDeberta, 2, 2, 32);
+  Rng rng(57);
+  auto model = BertModel::random(cfg, rng);
+  ASSERT_TRUE(model.weights().layer(0).packed.ready);
+  ASSERT_FALSE(model.weights().layer(0).packed.pos_key.empty());
+  auto in = test::make_varlen_input(dev(), std::vector<int>{9, 14}, 14,
+                                    cfg.hidden(), rng);
+  OptFlags on = OptFlags::baseline();
+  OptFlags off = on;
+  off.prepacked_weights = false;
+  Workspace ws1;
+  Workspace ws2;
+  auto out_on = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  auto out_off = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  model.forward(dev(), in.padded.data(), out_on.data(), in.off, on, ws1);
+  model.forward(dev(), in.padded.data(), out_off.data(), in.off, off, ws2);
+  for (std::int64_t i = 0; i < out_on.size(); ++i) {
+    ASSERT_EQ(out_on.data()[i].bits(), out_off.data()[i].bits()) << i;
+  }
+}
+
+TEST(Model, WideHeadsRouteOffTheShortFusedPath) {
+  // head_size > the microkernel panel depth (128) cannot run the short
+  // fused MHA; the capacity check must report "never fits" so dispatch
+  // falls through to the grouped-GEMM path and results stay correct.
+  EXPECT_EQ(attn::fused_short_scratch_bytes(/*max_seq=*/32, /*head_size=*/160),
+            std::numeric_limits<std::size_t>::max());
+  const auto cfg = tiny_config(ModelKind::kBert, 1, 1, 160);
+  Rng rng(58);
+  auto model = BertModel::random(cfg, rng);
+  auto in = test::make_varlen_input(dev(), std::vector<int>{20, 9}, 20,
+                                    cfg.hidden(), rng);
+  Workspace ws;
+  auto out = Tensor<fp16_t>::zeros({in.padded.dim(0), cfg.hidden()});
+  model.forward(dev(), in.padded.data(), out.data(), in.off,
+                OptFlags::byte_transformer(), ws);
+  const auto want = test::ref_encoder_layer(cfg, model.weights().layer(0),
+                                            test::to_f64(in.padded), in.off);
+  EXPECT_LT(test::max_diff_valid_rows(out, want, in.off, cfg.hidden()), 0.1);
 }
 
 TEST(Model, SingleLayerModelWritesOutputDirectly) {
