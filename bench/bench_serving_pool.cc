@@ -1,0 +1,157 @@
+// Serving-pool scaling: requests/s and end-to-end latency percentiles for
+// an EnginePool at 1/2/4 replicas on the same saturating Poisson trace.
+//
+// The offered load (kRps) is set well above one replica's service rate, so
+// the measured requests/s is the pool's capacity, not the arrival rate, and
+// replica scaling (or its absence — on a single-core host the replicas
+// time-share one CPU) is visible directly. bench/run_perf.sh merges the
+// JSON into BENCH_serving.json; the perf-smoke CI job uploads it.
+//
+// Reported counters per replica count:
+//   req_s   — completed requests per second of wall time
+//   p50_ms  — median end-to-end latency (arrival -> future resolved)
+//   p99_ms  — tail latency
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serving/pool.h"
+
+namespace bt::bench {
+namespace {
+
+constexpr int kPoolRequests = 64;
+constexpr int kPoolMaxSeq = 128;
+constexpr int kPoolBatchCap = 8;
+constexpr double kRps = 4000.0;  // saturating: arrivals far outpace service
+
+std::shared_ptr<const core::BertModel> pool_model() {
+  static std::shared_ptr<const core::BertModel> model = [] {
+    Rng rng(kSeed + 11);
+    return std::make_shared<const core::BertModel>(core::BertModel::random(
+        core::BertConfig::bert_base().scaled(2, 2), rng));
+  }();
+  return model;
+}
+
+struct PoolTrace {
+  std::vector<double> arrivals;
+  std::vector<Tensor<fp16_t>> requests;  // consumed by one replay
+
+  static PoolTrace get() {
+    static const PoolTrace master = [] {
+      PoolTrace t;
+      Rng rng(kSeed + 12);
+      const auto lens =
+          serving::gen_lengths(kPoolRequests, kPoolMaxSeq, kAlpha, rng);
+      const std::int64_t h = pool_model()->config().hidden();
+      for (int len : lens) {
+        t.requests.push_back(Tensor<fp16_t>::random_normal({len, h}, rng));
+      }
+      t.arrivals = serving::gen_arrivals(kPoolRequests, kRps, rng);
+      return t;
+    }();
+    PoolTrace replay;
+    replay.arrivals = master.arrivals;
+    for (const auto& r : master.requests) {
+      replay.requests.push_back(r.clone());
+    }
+    return replay;
+  }
+};
+
+void BM_ServingPool(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  const int replicas = static_cast<int>(state.range(0));
+  std::vector<double> latency_ms;
+  double serve_seconds = 0;
+  long long served = 0;
+
+  for (auto _ : state) {
+    PoolTrace trace = PoolTrace::get();
+    serving::EnginePoolOptions opts;
+    opts.engine.engine.flags = core::OptFlags::byte_transformer();
+    opts.engine.engine.policy = serving::BatchPolicy::kPacked;
+    opts.engine.engine.max_batch_requests = kPoolBatchCap;
+    opts.engine.max_wait_seconds = 0.002;
+    opts.replicas = replicas;
+    opts.route = serving::RoutePolicy::kLeastOutstandingTokens;
+    serving::EnginePool pool(pool_model(), opts);
+
+    // Replicas complete out of submission order, so waiting on futures in
+    // order would stamp an early completion with a lower-index straggler's
+    // finish time and inflate the multi-replica percentiles. Instead, poll
+    // readiness (<= kPollPeriod quantization, well under the ms-scale
+    // latencies) and stamp each future the poll that finds it resolved —
+    // including during the paced submission phase.
+    constexpr auto kPollPeriod = std::chrono::microseconds(200);
+    std::vector<std::future<serving::Response>> futures(
+        static_cast<std::size_t>(kPoolRequests));
+    std::vector<double> done_s(static_cast<std::size_t>(kPoolRequests), -1.0);
+    int submitted = 0;
+    int resolved = 0;
+    const auto start = clock::now();
+    const auto poll = [&] {
+      for (int i = 0; i < submitted; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        if (done_s[s] < 0 &&
+            futures[s].wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+          done_s[s] =
+              std::chrono::duration<double>(clock::now() - start).count();
+          ++resolved;
+        }
+      }
+    };
+    for (int i = 0; i < kPoolRequests; ++i) {
+      const auto due =
+          start + std::chrono::duration_cast<clock::duration>(
+                      std::chrono::duration<double>(
+                          trace.arrivals[static_cast<std::size_t>(i)]));
+      while (clock::now() < due) {
+        poll();
+        std::this_thread::sleep_for(
+            std::min<clock::duration>(kPollPeriod, due - clock::now()));
+      }
+      futures[static_cast<std::size_t>(i)] = pool.submit(
+          std::move(trace.requests[static_cast<std::size_t>(i)]));
+      ++submitted;
+    }
+    while (resolved < kPoolRequests) {
+      poll();
+      if (resolved < kPoolRequests) std::this_thread::sleep_for(kPollPeriod);
+    }
+    double last_done = 0;
+    for (int i = 0; i < kPoolRequests; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      latency_ms.push_back((done_s[s] - trace.arrivals[s]) * 1e3);
+      last_done = std::max(last_done, done_s[s]);
+    }
+    serve_seconds += last_done;
+    served += kPoolRequests;
+    pool.stop();
+  }
+
+  state.counters["req_s"] = static_cast<double>(served) / serve_seconds;
+  state.counters["p50_ms"] = stats::percentile(latency_ms, 0.5);
+  state.counters["p99_ms"] = stats::percentile(latency_ms, 0.99);
+  state.counters["replicas"] = replicas;
+  state.SetItemsProcessed(state.iterations() * kPoolRequests);
+  set_kernel_label(state);
+}
+
+// No explicit MinTime: the 0.5 s default runs each replica count for
+// several trace replays, averaging out scheduler-timing noise that a
+// single ~0.2 s replay exhibits on a busy host.
+BENCHMARK(BM_ServingPool)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace bt::bench

@@ -2,9 +2,12 @@
 # Perf trajectory runner: benches every BT_GEMM_KERNEL variant and merges the
 # google-benchmark JSON into two trajectory files future PRs diff against:
 #
-#   BENCH_gemm.json   — GFLOP/s per kernel x shape x operand regime
-#   BENCH_fig15.json  — end-to-end BERT (BM_Fig15_ByteTransformer) ms and
-#                       tokens/s per kernel variant
+#   BENCH_gemm.json    — GFLOP/s per kernel x shape x operand regime
+#   BENCH_fig15.json   — end-to-end BERT (BM_Fig15_ByteTransformer) ms and
+#                        tokens/s per kernel variant
+#   BENCH_serving.json — EnginePool requests/s and p50/p99 end-to-end
+#                        latency at 1/2/4 replicas (BM_ServingPool, default
+#                        GEMM kernel dispatch)
 #
 # Usage:  bench/run_perf.sh [build_dir] [out_dir]
 #   build_dir  cmake build tree holding the bench binaries  (default: build)
@@ -23,11 +26,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 OUT=${2:-.}
+mkdir -p "$OUT"
 SMOKE=${BT_PERF_SMOKE:-0}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-if [[ ! -x "$BUILD/bench_gemm_kernels" || ! -x "$BUILD/bench_fig15_e2e_bert" ]]; then
+if [[ ! -x "$BUILD/bench_gemm_kernels" || ! -x "$BUILD/bench_fig15_e2e_bert" \
+      || ! -x "$BUILD/bench_serving_pool" ]]; then
   echo "error: bench binaries not found under '$BUILD' (build with the" >&2
   echo "       google-benchmark package installed)" >&2
   exit 1
@@ -54,6 +59,11 @@ for kernel in scalar vec avx2; do
       > "$TMP/fig15_$kernel.json"
 done
 
+# Serving pool: replica scaling under the default (best) kernel dispatch.
+echo "== bench_serving_pool" >&2
+"$BUILD/bench_serving_pool" --benchmark_format=json \
+    --benchmark_filter='BM_ServingPool' > "$TMP/serving_default.json"
+
 python3 - "$TMP" "$OUT" "${BT_PERF_BASELINE:-}" <<'PY'
 import json, sys, os
 
@@ -77,14 +87,15 @@ def records(path, requested):
             "real_time_ms": b["real_time"],
             "cpu_time_ms": b["cpu_time"],
         }
-        for key in ("gflops", "tokens_s", "alpha", "pad_waste"):
+        for key in ("gflops", "tokens_s", "alpha", "pad_waste",
+                    "req_s", "p50_ms", "p99_ms", "replicas"):
             if key in b:
                 rec[key] = b[key]
         yield ctx, rec
 
-def merge(stem, out_name, extra=None):
+def merge(stem, out_name, extra=None, kernels=("scalar", "vec", "avx2")):
     context, results = {}, []
-    for kernel in ("scalar", "vec", "avx2"):
+    for kernel in kernels:
         path = os.path.join(tmp, f"{stem}_{kernel}.json")
         if not os.path.exists(path):
             continue
@@ -119,4 +130,7 @@ if baseline_path:
 
 merge("gemm", "BENCH_gemm.json")
 merge("fig15", "BENCH_fig15.json", extra)
+# The pool bench runs once under the default dispatch ("kernel" still
+# records which microkernel actually served the GEMMs).
+merge("serving", "BENCH_serving.json", kernels=("default",))
 PY

@@ -2,18 +2,25 @@
 // (TikTok/Douyin-style NLP serving with wildly varying sentence lengths).
 //
 // Requests arrive as a real-time Poisson process and are submitted to a
-// serving::AsyncEngine from the arrival thread; the engine's background
-// scheduler forms batches inside a bounded batching window while earlier
-// rounds compute — so batch formation genuinely overlaps model execution,
-// unlike the old synchronous round-robin loop. Three batching policies are
-// compared:
+// serving::EnginePool from the arrival thread: a Router spreads them over
+// `--replicas` AsyncEngines (each with its own scheduler thread and Device)
+// that share one physical copy of the model weights, and every replica's
+// background scheduler forms batches inside a bounded batching window while
+// earlier rounds compute. Three batching policies are compared:
 //   pad-to-max   — conventional frameworks,
 //   sort+group   — TurboTransformer SmartBatch proxy,
 //   packed       — ByteTransformer padding-free.
 // Prints throughput, end-to-end latency percentiles (arrival -> response),
-// and padded-token waste per policy.
+// padded-token waste per policy, and — with more than one replica — the
+// per-replica routing/utilization/queue-depth breakdown.
+//
+// Usage: serving_simulator [--replicas N] [--route rr|lor|lot]
+//                          [--requests N] [--rps X]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <thread>
@@ -23,7 +30,7 @@
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/model.h"
-#include "serving/async_engine.h"
+#include "serving/pool.h"
 #include "serving/request_gen.h"
 #include "tensor/tensor.h"
 
@@ -38,20 +45,62 @@ struct Policy {
   int group_size;  // kSortGroup only
 };
 
+struct Args {
+  int replicas = 1;
+  serving::RoutePolicy route = serving::RoutePolicy::kLeastOutstandingTokens;
+  int num_requests = 96;
+  double rps = 400.0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--replicas N] [--route rr|lor|lot] "
+               "[--requests N] [--rps X]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (value == nullptr) usage(argv[0]);
+    if (std::strcmp(flag, "--replicas") == 0) {
+      args.replicas = std::atoi(value);
+      if (args.replicas < 1) usage(argv[0]);
+    } else if (std::strcmp(flag, "--route") == 0) {
+      const auto parsed = serving::parse_route_policy(value);
+      if (!parsed.has_value()) usage(argv[0]);
+      args.route = *parsed;
+    } else if (std::strcmp(flag, "--requests") == 0) {
+      args.num_requests = std::atoi(value);
+      if (args.num_requests < 1) usage(argv[0]);
+    } else if (std::strcmp(flag, "--rps") == 0) {
+      args.rps = std::atof(value);
+      if (!(args.rps > 0)) usage(argv[0]);
+    } else {
+      usage(argv[0]);
+    }
+    ++i;  // consumed the value
+  }
+  return args;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
   const core::BertConfig cfg = core::BertConfig::bert_base().scaled(2, 2);
   Rng rng(77);
   auto model = std::make_shared<const core::BertModel>(
       core::BertModel::random(cfg, rng));
 
-  const int num_requests = 96;
+  const int num_requests = args.num_requests;
   const int max_seq = 256;
   const int batch_size = 8;
-  const double rps = 400.0;
   const auto lengths = serving::gen_lengths(num_requests, max_seq, 0.6, rng);
-  const auto arrivals = serving::gen_arrivals(num_requests, rps, rng);
+  const auto arrivals = serving::gen_arrivals(num_requests, args.rps, rng);
 
   const Policy policies[] = {
       {"pad-to-max", core::OptFlags::bias_gelu_fused(),
@@ -64,9 +113,10 @@ int main() {
 
   std::printf(
       "serving %d requests at %.0f rps, max_seq %d, batch cap %d, alpha 0.6\n"
-      "async executor: 2 ms batching window, bounded queue, Poisson "
-      "arrivals\n\n",
-      num_requests, rps, max_seq, batch_size);
+      "engine pool: %d replica(s), route=%s, shared weights, 2 ms batching "
+      "window, Poisson arrivals\n\n",
+      num_requests, args.rps, max_seq, batch_size, args.replicas,
+      serving::route_policy_name(args.route));
   // tok/ms(fwd) is compute-side throughput (valid tokens per forward-pass
   // millisecond): with real-time replay, total wall time is dominated by
   // the fixed arrival trace and would look identical across policies.
@@ -74,13 +124,15 @@ int main() {
               "p50(ms)", "p95(ms)", "tok/ms(fwd)", "pad-waste");
 
   for (const Policy& pol : policies) {
-    serving::AsyncEngineOptions opts;
-    opts.engine.flags = pol.flags;
-    opts.engine.policy = pol.batching;
-    opts.engine.group_size = pol.group_size > 0 ? pol.group_size : 4;
-    opts.engine.max_batch_requests = batch_size;
-    opts.max_wait_seconds = 0.002;
-    serving::AsyncEngine engine(model, opts);
+    serving::EnginePoolOptions opts;
+    opts.engine.engine.flags = pol.flags;
+    opts.engine.engine.policy = pol.batching;
+    opts.engine.engine.group_size = pol.group_size > 0 ? pol.group_size : 4;
+    opts.engine.engine.max_batch_requests = batch_size;
+    opts.engine.max_wait_seconds = 0.002;
+    opts.replicas = args.replicas;
+    opts.route = args.route;
+    serving::EnginePool pool(model, opts);
 
     // Pre-build every request tensor so construction cost does not pollute
     // the measured latencies or delay later submissions.
@@ -98,40 +150,58 @@ int main() {
     }
 
     // Replay the arrival trace in real time: each request is submitted when
-    // its Poisson timestamp comes due, while the scheduler thread batches
-    // and computes concurrently.
-    std::vector<std::future<serving::Response>> futures;
-    futures.reserve(static_cast<std::size_t>(num_requests));
-    const auto start = std::chrono::steady_clock::now();
+    // its Poisson timestamp comes due, while the replica schedulers batch
+    // and compute concurrently. End-to-end latency (arrival -> response) is
+    // measured by polling readiness: with several replicas, futures resolve
+    // out of submission order, so waiting on them in order would stamp an
+    // early completion with a lower-index straggler's finish time. The
+    // 200 us poll quantization is noise against the ms-scale latencies.
+    using clock = std::chrono::steady_clock;
+    constexpr auto kPollPeriod = std::chrono::microseconds(200);
+    std::vector<std::future<serving::Response>> futures(
+        static_cast<std::size_t>(num_requests));
+    std::vector<double> done_s(static_cast<std::size_t>(num_requests), -1.0);
+    int submitted = 0;
+    int resolved = 0;
+    const auto start = clock::now();
     Timer wall;
+    const auto poll = [&] {
+      for (int i = 0; i < submitted; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        if (done_s[s] < 0 && futures[s].wait_for(std::chrono::seconds(0)) ==
+                                 std::future_status::ready) {
+          done_s[s] = std::chrono::duration<double>(clock::now() - start).count();
+          ++resolved;
+        }
+      }
+    };
     for (int i = 0; i < num_requests; ++i) {
-      std::this_thread::sleep_until(
-          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      const auto due =
+          start + std::chrono::duration_cast<clock::duration>(
                       std::chrono::duration<double>(
-                          arrivals[static_cast<std::size_t>(i)])));
-      futures.push_back(
-          engine.submit(std::move(requests[static_cast<std::size_t>(i)])));
+                          arrivals[static_cast<std::size_t>(i)]));
+      while (clock::now() < due) {
+        poll();
+        std::this_thread::sleep_for(
+            std::min<clock::duration>(kPollPeriod, due - clock::now()));
+      }
+      futures[static_cast<std::size_t>(i)] =
+          pool.submit(std::move(requests[static_cast<std::size_t>(i)]));
+      ++submitted;
     }
-
-    // End-to-end latency (arrival -> response), timestamped as each future
-    // resolves. Rounds pop from the queue front, so futures resolve in
-    // submission order and waiting on them in order stays faithful — unlike
-    // queue_seconds + compute_seconds, this includes the wait behind earlier
-    // micro-batches of the same round and the gather/scatter overhead.
+    while (resolved < num_requests) {
+      poll();
+      if (resolved < num_requests) std::this_thread::sleep_for(kPollPeriod);
+    }
     std::vector<double> latency;
-    latency.reserve(futures.size());
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      futures[i].get();
-      const double done =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      latency.push_back((done - arrivals[i]) * 1e3);
+    latency.reserve(static_cast<std::size_t>(num_requests));
+    for (std::size_t i = 0; i < done_s.size(); ++i) {
+      latency.push_back((done_s[i] - arrivals[i]) * 1e3);
     }
     const double total_ms = wall.millis();
-    engine.stop();
+    pool.stop();
 
-    const auto st = engine.stats();
+    const auto st = pool.stats();
     std::printf("%-26s %10.1f %10.2f %10.2f %12.1f %9.0f%%\n", pol.name,
                 total_ms, stats::percentile(latency, 0.5),
                 stats::percentile(latency, 0.95),
@@ -139,13 +209,28 @@ int main() {
                     (st.compute_seconds * 1e3),
                 100.0 * static_cast<double>(st.padding_tokens()) /
                     static_cast<double>(st.processed_tokens));
+
+    if (args.replicas > 1) {
+      // Per-replica breakdown: routed share, compute-busy fraction of the
+      // trace (utilization), and the queue-depth high-water the router saw.
+      const auto rs = pool.replica_stats();
+      for (std::size_t r = 0; r < rs.size(); ++r) {
+        std::printf(
+            "  replica %zu: %3lld reqs %6lld tokens  %2lld rounds  "
+            "util %4.0f%%  peak queue %zu\n",
+            r, rs[r].routed_requests, rs[r].routed_tokens,
+            rs[r].engine.batches,
+            100.0 * rs[r].engine.compute_seconds / (total_ms * 1e-3),
+            rs[r].peak_outstanding);
+      }
+    }
   }
 
   std::printf(
       "\npacked batching does the least redundant work per batch, which\n"
       "shows up as both lower tail latency and higher token throughput;\n"
-      "the async executor overlaps the next round's batch formation with\n"
-      "the current round's compute, so arrival gaps no longer stall the\n"
-      "pipeline.\n");
+      "each replica's scheduler overlaps its next round's batch formation\n"
+      "with the current round's compute, and the router keeps replicas'\n"
+      "outstanding work balanced so bursts spread instead of queueing.\n");
   return 0;
 }

@@ -7,7 +7,8 @@ namespace bt::core {
 void BertModel::forward(par::Device& dev, const fp16_t* input, fp16_t* output,
                         const SeqOffsets& off, const OptFlags& flags,
                         Workspace& ws, StageTimes* times) const {
-  const BertConfig& cfg = weights_.config;
+  const ModelWeights& weights = *weights_;
+  const BertConfig& cfg = weights.config;
   const std::int64_t h = cfg.hidden();
   const std::int64_t padded_rows =
       static_cast<std::int64_t>(off.batch) * off.max_seq;
@@ -34,9 +35,9 @@ void BertModel::forward(par::Device& dev, const fp16_t* input, fp16_t* output,
     } else {
       dst = (cur == buf_a.data()) ? buf_b.data() : buf_a.data();
     }
-    const LayerWeights& w = weights_.layer(layer);
+    const LayerWeights& w = weights.layer(layer);
     if (cfg.kind == ModelKind::kDeberta) {
-      models::deberta_layer_forward(dev, cfg, weights_, w, flags, cur, dst,
+      models::deberta_layer_forward(dev, cfg, weights, w, flags, cur, dst,
                                     off, ws, times);
     } else {
       encoder_layer_forward(dev, cfg, w, flags, cur, dst, off, ws, times);

@@ -1,11 +1,20 @@
 // Stacked encoder model (BERT / ALBERT / DistilBERT / DeBERTa).
 //
-// The model owns its weights and runs `config.layers` encoder iterations,
-// dispatching to the DeBERTa disentangled-attention layer when configured.
+// The model holds its weights through `std::shared_ptr<const ModelWeights>`
+// and runs `config.layers` encoder iterations, dispatching to the DeBERTa
+// disentangled-attention layer when configured. Shared ownership is what
+// lets a serving::EnginePool run N replica engines against one physical
+// copy of the weights *and* the persistent pre-packed GEMM panels: every
+// replica's BertModel aliases the same storage, and pack_panels() runs
+// exactly once (it is idempotent), never per-replica.
+//
 // With flags.zero_padding the input is packed once on entry, every layer
 // runs on packed rows, and the final hidden states are rebuilt to the padded
 // layout on exit (paper Fig. 2c), so callers always see padded tensors.
 #pragma once
+
+#include <memory>
+#include <stdexcept>
 
 #include "common/half.h"
 #include "common/timer.h"
@@ -20,12 +29,32 @@ namespace bt::core {
 
 class BertModel {
  public:
-  explicit BertModel(ModelWeights weights) : weights_(std::move(weights)) {
-    weights_.pack_panels();
+  // Sole-ownership convenience: wraps the weights into shared storage.
+  explicit BertModel(ModelWeights weights)
+      : BertModel(std::make_shared<ModelWeights>(std::move(weights))) {}
+
+  // Shared-ownership constructor: models built from the same shared_ptr
+  // alias one weight + PackedPanels storage. Panels are built here (before
+  // the storage goes const); pack_panels() is idempotent, so only the first
+  // model over a given ModelWeights pays the packing cost. Not thread-safe
+  // against concurrent construction over the same un-packed weights —
+  // construct the first model (or call pack_panels()) before fanning out.
+  explicit BertModel(std::shared_ptr<ModelWeights> weights) {
+    if (weights == nullptr) {
+      throw std::invalid_argument("BertModel: weights must not be null");
+    }
+    weights->pack_panels();
+    weights_ = std::move(weights);
   }
 
-  const BertConfig& config() const noexcept { return weights_.config; }
-  const ModelWeights& weights() const noexcept { return weights_; }
+  const BertConfig& config() const noexcept { return weights_->config; }
+  const ModelWeights& weights() const noexcept { return *weights_; }
+
+  // Identity of the shared storage — replicas of a pool compare equal here
+  // (tests assert one physical weight copy across the fleet).
+  const std::shared_ptr<const ModelWeights>& weights_ptr() const noexcept {
+    return weights_;
+  }
 
   // input/output: padded token rows [batch * max_seq, hidden]; padding rows
   // of `input` must be zero-filled. `off` describes the valid tokens.
@@ -39,7 +68,7 @@ class BertModel {
   }
 
  private:
-  ModelWeights weights_;
+  std::shared_ptr<const ModelWeights> weights_;
 };
 
 }  // namespace bt::core

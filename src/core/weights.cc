@@ -23,8 +23,8 @@ Tensor<fp16_t> random_bias(std::int64_t n, Rng& rng) {
 
 }  // namespace
 
-void LayerWeights::pack_panels(const BertConfig& cfg) {
-  if (packed.ready) return;
+bool LayerWeights::pack_panels(const BertConfig& cfg) {
+  if (packed.ready) return false;
   const std::int64_t h = cfg.hidden();
   const std::int64_t inner = cfg.ffn_inner();
   packed.qkv = gemm::PackedB::pack(gemm::Trans::N, w_qkv.data(), 3 * h, h, 3 * h);
@@ -37,10 +37,15 @@ void LayerWeights::pack_panels(const BertConfig& cfg) {
         gemm::PackedB::pack(gemm::Trans::N, w_pos_query.data(), h, h, h);
   }
   packed.ready = true;
+  return true;
 }
 
-void ModelWeights::pack_panels() {
-  for (auto& layer : layers) layer.pack_panels(config);
+std::size_t ModelWeights::pack_panels() {
+  std::size_t newly_packed = 0;
+  for (auto& layer : layers) {
+    if (layer.pack_panels(config)) ++newly_packed;
+  }
+  return newly_packed;
 }
 
 LayerWeights LayerWeights::random(const BertConfig& cfg, Rng& rng) {

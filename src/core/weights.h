@@ -7,6 +7,7 @@
 // memory space and launch a single batched GEMM kernel").
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/half.h"
@@ -50,8 +51,10 @@ struct LayerWeights {
   };
   PackedPanels packed;
 
-  // Fills `packed` from the weight tensors (idempotent).
-  void pack_panels(const BertConfig& cfg);
+  // Fills `packed` from the weight tensors. Idempotent: returns true when
+  // this call built the panels, false when they were already present (the
+  // shared-weights path — replicas must never re-pack).
+  bool pack_panels(const BertConfig& cfg);
 
   static LayerWeights random(const BertConfig& cfg, Rng& rng);
 };
@@ -69,7 +72,10 @@ struct ModelWeights {
 
   // Builds every layer's PackedPanels. Called by BertModel at construction
   // so both randomly initialized and deserialized weights arrive packed.
-  void pack_panels();
+  // Returns the number of layers packed by this call — 0 when the panels
+  // already existed, which is how the pack-exactly-once contract behind
+  // shared-weights replicas is tested.
+  std::size_t pack_panels();
 
   static ModelWeights random(const BertConfig& cfg, Rng& rng);
 };

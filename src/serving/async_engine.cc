@@ -1,5 +1,7 @@
 #include "serving/async_engine.h"
 
+#include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -30,7 +32,10 @@ std::future<Response> AsyncEngine::enqueue_reserved_locked(Request&& req,
   q.id = id;
   q.hidden = std::move(req.hidden);
   q.arrival = Clock::now();
+  q.deadline = req.deadline;
   std::future<Response> fut = q.promise.get_future();
+  queued_tokens_ += q.hidden.dim(0);
+  if (q.deadline.has_value()) ++deadline_count_;
   queue_.push_back(std::move(q));
   cv_work_.notify_one();
   return fut;
@@ -99,17 +104,40 @@ std::size_t AsyncEngine::pending() const {
   return queue_.size() + in_flight_;
 }
 
+long long AsyncEngine::pending_tokens() const {
+  std::lock_guard lock(mutex_);
+  return queued_tokens_ + in_flight_tokens_;
+}
+
 EngineStats AsyncEngine::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
 }
 
-std::size_t AsyncEngine::admit_count_locked() const {
-  // The shared admission rule keeps this window predicate in lockstep with
-  // the round Engine::run_batch actually forms.
-  return admit_count(queue_.size(), opts_.engine.max_batch_requests,
-                     opts_.engine.max_batch_tokens,
-                     [&](std::size_t i) { return queue_[i].hidden.dim(0); });
+std::vector<std::size_t> AsyncEngine::admission_order_locked() const {
+  std::vector<std::size_t> order(queue_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (deadline_count_ > 0) {
+    // Earliest-deadline-first; stable_sort keeps queue position as the tie
+    // break, so deadline-less requests stay FIFO among themselves (ordered
+    // last via the max() sentinel).
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return queue_[a].deadline.value_or(Deadline::max()) <
+                              queue_[b].deadline.value_or(Deadline::max());
+                     });
+  }
+  return order;
+}
+
+Deadline AsyncEngine::earliest_deadline_locked() const {
+  Deadline earliest = Deadline::max();
+  for (const Queued& q : queue_) {
+    if (q.deadline.has_value() && *q.deadline < earliest) {
+      earliest = *q.deadline;
+    }
+  }
+  return earliest;
 }
 
 // A round is "full" when waiting longer cannot improve the batch: the
@@ -117,13 +145,15 @@ std::size_t AsyncEngine::admit_count_locked() const {
 // admitted prefix already carries max_batch_tokens (no later arrival of any
 // length could join — e.g. a lone oversized request should not sit out the
 // window), or the bounded queue itself is full (blocked submitters cannot
-// add work until the round dispatches).
+// add work until the round dispatches). Admission walks the deadline-aware
+// order, so the predicate agrees with the round the pop actually forms.
 bool AsyncEngine::round_available_locked() const {
+  const std::vector<std::size_t> order = admission_order_locked();
   long long admitted_tokens = 0;
   const std::size_t count = admit_count(
       queue_.size(), opts_.engine.max_batch_requests,
       opts_.engine.max_batch_tokens,
-      [&](std::size_t i) { return queue_[i].hidden.dim(0); },
+      [&](std::size_t i) { return queue_[order[i]].hidden.dim(0); },
       &admitted_tokens);
   return count ==
              static_cast<std::size_t>(opts_.engine.max_batch_requests) ||
@@ -138,33 +168,64 @@ void AsyncEngine::scheduler_loop() {
   for (;;) {
     cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) {
-      if (stop_) return;
+      if (stop_) break;
       continue;
     }
 
     // Batching window: hold the round open until it is full, the window
-    // since the oldest arrival closes, or shutdown starts the drain.
+    // since the oldest arrival closes, a queued SLO deadline comes due, or
+    // shutdown starts the drain. Recomputed per wakeup — new arrivals can
+    // move both the oldest-arrival anchor and the earliest deadline.
     if (!stop_ && opts_.max_wait_seconds > 0.0) {
-      const auto deadline =
-          queue_.front().arrival +
-          std::chrono::duration_cast<Clock::duration>(
-              std::chrono::duration<double>(opts_.max_wait_seconds));
-      while (!stop_ && !round_available_locked() &&
-             Clock::now() < deadline) {
-        cv_work_.wait_until(lock, deadline);
+      while (!stop_ && !queue_.empty() && !round_available_locked()) {
+        Clock::time_point close =
+            queue_.front().arrival +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(opts_.max_wait_seconds));
+        if (deadline_count_ > 0) {
+          close = std::min(close, earliest_deadline_locked());
+        }
+        if (Clock::now() >= close) break;
+        cv_work_.wait_until(lock, close);
       }
       if (queue_.empty()) continue;  // unreachable today; defensive
     }
 
-    // Pop the admitted prefix; submitters may refill the queue while the
-    // round computes.
-    const std::size_t count = admit_count_locked();
+    // Pop the admitted requests in admission (FIFO or earliest-deadline-
+    // first) order; submitters may refill the queue while the round
+    // computes.
+    const std::vector<std::size_t> order = admission_order_locked();
+    const std::size_t count = admit_count(
+        queue_.size(), opts_.engine.max_batch_requests,
+        opts_.engine.max_batch_tokens,
+        [&](std::size_t i) { return queue_[order[i]].hidden.dim(0); });
     std::vector<Queued> round;
     round.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      round.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    if (deadline_count_ == 0) {
+      // FIFO fast path: the admitted set is the queue front.
+      for (std::size_t i = 0; i < count; ++i) {
+        round.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    } else {
+      std::vector<char> taken(queue_.size(), 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        taken[order[i]] = 1;
+        round.push_back(std::move(queue_[order[i]]));
+      }
+      std::deque<Queued> rest;
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (!taken[i]) rest.push_back(std::move(queue_[i]));
+      }
+      queue_.swap(rest);
     }
+    long long round_tokens = 0;  // hiddens are moved out during compute
+    for (const Queued& q : round) {
+      round_tokens += q.hidden.dim(0);
+      if (q.deadline.has_value()) --deadline_count_;
+    }
+    queued_tokens_ -= round_tokens;
+    in_flight_tokens_ += round_tokens;
     in_flight_ += count;
     const auto round_start = Clock::now();
     lock.unlock();
@@ -189,6 +250,7 @@ void AsyncEngine::scheduler_loop() {
     // never reports zero while one is still unresolved).
     lock.lock();
     in_flight_ -= count;
+    in_flight_tokens_ -= round_tokens;
     stats_ = engine_.stats();
     if (failed || responses.size() != round.size()) {
       if (!error) {
@@ -201,9 +263,11 @@ void AsyncEngine::scheduler_loop() {
       // the next round's drain() and fail healthy requests.
       engine_.discard_pending();
     } else {
-      // drain() returns responses in submission order == round order. The
-      // inner engine only saw each request at round start, so rewrite
-      // queue_seconds to cover the async wait (submit -> round start).
+      // drain() returns responses in submission order == round (dispatch)
+      // order, so promises resolve in dispatch order — the fulfillment-
+      // order contract stop()'s drain relies on. The inner engine only saw
+      // each request at round start, so rewrite queue_seconds to cover the
+      // async wait (submit -> round start).
       for (std::size_t i = 0; i < round.size(); ++i) {
         responses[i].queue_seconds =
             std::chrono::duration<double>(round_start - round[i].arrival)
@@ -211,6 +275,20 @@ void AsyncEngine::scheduler_loop() {
         round[i].promise.set_value(std::move(responses[i]));
       }
     }
+  }
+
+  // Only reachable with stop_ set and the queue observed empty, so every
+  // accepted promise has been fulfilled. Belt-and-braces: if a future code
+  // path ever let the scheduler exit with queued requests, destroying their
+  // promises would surface as std::future_error(broken_promise) at random
+  // callers — fail each one loudly instead.
+  if (!queue_.empty()) {
+    auto error = std::make_exception_ptr(std::runtime_error(
+        "AsyncEngine: scheduler exited with undispatched requests"));
+    for (Queued& q : queue_) q.promise.set_exception(error);
+    queue_.clear();
+    queued_tokens_ = 0;
+    deadline_count_ = 0;
   }
 }
 

@@ -27,15 +27,28 @@
 //   queued request has waited max_wait_seconds, whichever comes first —
 //   the usual latency/throughput knob for dynamic batching.
 //
+// Deadline-aware admission
+//   While no queued request carries a Request::deadline, admission is
+//   strict FIFO (bitwise-identical to the pre-deadline engine). As soon as
+//   any queued request has one, rounds pop earliest-deadline-first
+//   (deadline-less requests order last, FIFO among themselves; queue
+//   position breaks ties), and the batching window closes early at the
+//   earliest queued deadline so a near-SLO request is bumped into the next
+//   round ahead of fresher arrivals instead of waiting out the window.
+//
 // Backpressure
 //   The submission queue is bounded (max_queue). submit() blocks until
 //   space frees up; try_submit() returns std::nullopt instead of blocking.
 //
 // Shutdown
 //   stop() (idempotent, also run by the destructor) wakes the scheduler,
-//   drains every already-accepted request — each future still resolves —
-//   and joins the thread. Submissions after stop() throw (submit) or
-//   return std::nullopt (try_submit).
+//   drains every already-accepted request, and joins the thread. The drain
+//   resolves promises strictly in dispatch order (the order requests are
+//   popped into rounds; Response::round exposes it) and never drops one —
+//   a future obtained from submit()/try_submit() always resolves with a
+//   value or an exception, never std::future_error(broken_promise).
+//   Submissions after stop() throw (submit) or return std::nullopt
+//   (try_submit).
 #pragma once
 
 #include <chrono>
@@ -94,6 +107,10 @@ class AsyncEngine {
   // Requests accepted but not yet responded to (queued + in flight).
   std::size_t pending() const;
 
+  // Valid tokens (rows) of those pending requests — the load metric the
+  // EnginePool's least-outstanding-tokens router balances on.
+  long long pending_tokens() const;
+
   // Snapshot of the inner engine's cumulative accounting as of the last
   // completed round.
   EngineStats stats() const;
@@ -110,11 +127,16 @@ class AsyncEngine {
     Tensor<fp16_t> hidden;
     std::promise<Response> promise;
     Clock::time_point arrival;
+    std::optional<Deadline> deadline;
   };
 
   std::future<Response> enqueue_reserved_locked(Request&& req, RequestId id);
+  // Queue indices in admission order: identity (FIFO) while no queued
+  // request has a deadline, else earliest-deadline-first with queue
+  // position as the stable tie-break (deadline-less requests last).
+  std::vector<std::size_t> admission_order_locked() const;
+  Deadline earliest_deadline_locked() const;  // requires deadline_count_ > 0
   bool round_available_locked() const;
-  std::size_t admit_count_locked() const;
   void scheduler_loop();
 
   AsyncEngineOptions opts_;
@@ -124,7 +146,10 @@ class AsyncEngine {
   std::condition_variable cv_work_;   // scheduler: work arrived / stop
   std::condition_variable cv_space_;  // submitters: queue has room / stop
   std::deque<Queued> queue_;          // guarded by mutex_
+  std::size_t deadline_count_ = 0;    // queued requests carrying a deadline
+  long long queued_tokens_ = 0;       // valid tokens sitting in queue_
   std::size_t in_flight_ = 0;         // popped, promises not yet fulfilled
+  long long in_flight_tokens_ = 0;    // their valid tokens
   RequestIdTracker ids_;
   EngineStats stats_;                 // snapshot, updated per round
   bool stop_ = false;

@@ -149,6 +149,7 @@ std::vector<Response> Engine::run_batch() {
                   static_cast<std::size_t>(r.output.size()) * sizeof(fp16_t));
       r.queue_seconds = queue_secs[pos];
       r.compute_seconds = compute;
+      r.round = stats_.batches;  // 0-based: incremented after the round
       r.stages = stages;
     }
   }

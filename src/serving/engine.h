@@ -21,11 +21,13 @@
 // surface.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -51,9 +53,26 @@ struct EngineOptions {
   std::size_t scratch_bytes = par::CtaScratch::kDefaultBytes;
 };
 
+// Absolute SLO deadline on the serving clock. All deadline comparisons run
+// on steady_clock so they are immune to wall-clock adjustments.
+using Deadline = std::chrono::steady_clock::time_point;
+
+// Convenience: a deadline `seconds` from now.
+inline Deadline deadline_in(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
 struct Request {
   RequestId id = -1;       // < 0: engine assigns the next sequential id
   Tensor<fp16_t> hidden;   // [length, hidden] valid rows only (no padding)
+  // Optional SLO deadline. The synchronous Engine processes its queue in
+  // submission order and ignores it; AsyncEngine (and EnginePool replicas)
+  // pop earliest-deadline-first whenever any queued request carries one, and
+  // a near/past deadline closes the batching window early. With no deadlines
+  // anywhere the admission order is bitwise-identical to strict FIFO.
+  std::optional<Deadline> deadline = std::nullopt;
 };
 
 // Tracks which request ids have ever been issued, so duplicate
@@ -134,6 +153,9 @@ struct Response {
   Tensor<fp16_t> output;       // [length, hidden] valid rows only
   double queue_seconds = 0;    // submit -> scheduling-round start
   double compute_seconds = 0;  // wall time of the owning micro-batch forward
+  long long round = -1;        // 0-based scheduling round that served this
+                               // request (dispatch order is observable:
+                               // promises resolve in non-decreasing rounds)
   StageTimes stages;           // stage breakdown of the owning micro-batch
 };
 

@@ -1,0 +1,221 @@
+#include "serving/pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace bt::serving {
+
+namespace {
+
+// Replica Device sizing: explicit knob wins, then an explicit per-engine
+// thread count, else partition the machine's cores across replicas so N
+// replicas run side by side instead of oversubscribing one shared pool.
+int resolve_threads_per_replica(const EnginePoolOptions& opts) {
+  if (opts.threads_per_replica > 0) return opts.threads_per_replica;
+  if (opts.engine.engine.threads > 0) return opts.engine.engine.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned per =
+      hw / static_cast<unsigned>(opts.replicas > 0 ? opts.replicas : 1);
+  return per > 0 ? static_cast<int>(per) : 1;
+}
+
+}  // namespace
+
+EnginePool::EnginePool(std::shared_ptr<const core::BertModel> model,
+                       EnginePoolOptions opts)
+    : opts_(opts) {
+  if (model == nullptr) {
+    throw std::invalid_argument("EnginePool: model must not be null");
+  }
+  if (opts_.replicas < 1) {
+    throw std::invalid_argument("EnginePoolOptions: replicas must be >= 1");
+  }
+  if (opts_.threads_per_replica < 0) {
+    throw std::invalid_argument(
+        "EnginePoolOptions: threads_per_replica must be >= 0");
+  }
+  AsyncEngineOptions replica_opts = opts_.engine;
+  replica_opts.engine.threads = resolve_threads_per_replica(opts_);
+  router_ = make_router(opts_.route);
+  routed_.resize(static_cast<std::size_t>(opts_.replicas));
+  engines_.reserve(static_cast<std::size_t>(opts_.replicas));
+  for (int i = 0; i < opts_.replicas; ++i) {
+    // Every replica aliases the same BertModel (and so the same
+    // ModelWeights + PackedPanels storage): replication costs scheduler
+    // threads and workspaces, not weight copies.
+    engines_.push_back(std::make_unique<AsyncEngine>(model, replica_opts));
+  }
+}
+
+EnginePool::EnginePool(core::BertModel model, EnginePoolOptions opts)
+    : EnginePool(std::make_shared<const core::BertModel>(std::move(model)),
+                 opts) {}
+
+EnginePool::~EnginePool() { stop(); }
+
+EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
+  std::vector<ReplicaLoad> loads(engines_.size());
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    // Replica-visible load plus the pool's in-transit share, so requests
+    // routed by other submitters but still between the pool lock and the
+    // replica queue count against their destination.
+    loads[i].outstanding_requests =
+        engines_[i]->pending() +
+        static_cast<std::size_t>(routed_[i].in_transit_requests);
+    loads[i].outstanding_tokens =
+        engines_[i]->pending_tokens() + routed_[i].in_transit_tokens;
+  }
+  const long long tokens = req.hidden.dim(0);
+  const std::size_t target = router_->pick(loads, tokens);
+  Routed& acct = routed_[target];
+  acct.requests += 1;
+  acct.tokens += tokens;
+  acct.in_transit_requests += 1;
+  acct.in_transit_tokens += tokens;
+  return {target, loads[target].outstanding_requests};
+}
+
+void EnginePool::finish_hand_off(const RouteDecision& d, long long tokens) {
+  std::lock_guard lock(mutex_);
+  Routed& acct = routed_[d.target];
+  acct.in_transit_requests -= 1;
+  acct.in_transit_tokens -= tokens;
+  // Queue depth high-water from the router's vantage — recorded only for
+  // requests that actually landed: the load it saw plus the one it placed.
+  acct.peak_outstanding =
+      std::max(acct.peak_outstanding, d.seen_outstanding + 1);
+}
+
+void EnginePool::undo_route(const RouteDecision& d, long long tokens) {
+  // Caller holds mutex_ (try_submit) — a declined or failed hand-off leaves
+  // no trace in the routing accounting.
+  Routed& acct = routed_[d.target];
+  acct.requests -= 1;
+  acct.tokens -= tokens;
+  acct.in_transit_requests -= 1;
+  acct.in_transit_tokens -= tokens;
+}
+
+std::future<Response> EnginePool::submit(Request req) {
+  RouteDecision decision;
+  const long long tokens = req.hidden.dim(0);
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("EnginePool::submit: pool is stopped");
+    }
+    // Pool-level id assignment keeps ids unique across replicas; each
+    // replica then sees a fresh caller-supplied id it cannot collide on.
+    req.id = validate_and_reserve_id("EnginePool::submit", req.hidden,
+                                     hidden(), req.id, ids_);
+    decision = route_and_account(req);
+  }
+  // Hand off outside the pool lock: a full replica queue blocks this
+  // submitter without stalling routing for everyone else (the in-transit
+  // charge keeps the router honest meanwhile). A stop() racing this
+  // hand-off surfaces as the replica's stopped error.
+  try {
+    auto fut = engines_[decision.target]->submit(std::move(req));
+    finish_hand_off(decision, tokens);
+    return fut;
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    undo_route(decision, tokens);
+    throw;
+  }
+}
+
+std::future<Response> EnginePool::submit(Tensor<fp16_t> hidden) {
+  return submit(Request{-1, std::move(hidden), std::nullopt});
+}
+
+std::optional<std::future<Response>> EnginePool::try_submit(Request req) {
+  std::lock_guard lock(mutex_);
+  // Same contract as AsyncEngine::try_submit: programming errors throw even
+  // when the request would be declined.
+  validate_request("EnginePool::try_submit", req.hidden, hidden(), req.id,
+                   ids_);
+  if (stop_) return std::nullopt;
+  const long long tokens = req.hidden.dim(0);
+  // Reserve only on acceptance, so a declined caller-supplied id can be
+  // resubmitted. Two-phase is safe because the pool lock is held across
+  // peek + replica hand-off + mark. (The replica call is non-blocking; its
+  // lock is always taken after the pool's, never the reverse.)
+  const RequestId id = req.id >= 0 ? req.id : ids_.next();
+  if (id == std::numeric_limits<RequestId>::max()) {
+    // Mirrors RequestIdTracker::reserve: marking the maximum id would
+    // overflow the watermark.
+    throw std::invalid_argument("EnginePool: request id space exhausted");
+  }
+  const RouteDecision decision = route_and_account(req);
+  req.id = id;
+  auto fut = engines_[decision.target]->try_submit(std::move(req));
+  if (fut.has_value()) {
+    ids_.mark(id);
+    Routed& acct = routed_[decision.target];
+    acct.in_transit_requests -= 1;
+    acct.in_transit_tokens -= tokens;
+    acct.peak_outstanding =
+        std::max(acct.peak_outstanding, decision.seen_outstanding + 1);
+  } else {
+    undo_route(decision, tokens);
+  }
+  return fut;
+}
+
+void EnginePool::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  // Outside the pool lock: each replica's stop() drains and joins, and
+  // observers (pending/stats) must stay callable meanwhile.
+  for (auto& engine : engines_) engine->stop();
+}
+
+bool EnginePool::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stop_;
+}
+
+std::size_t EnginePool::pending() const {
+  std::size_t total = 0;
+  for (const auto& engine : engines_) total += engine->pending();
+  return total;
+}
+
+long long EnginePool::pending_tokens() const {
+  long long total = 0;
+  for (const auto& engine : engines_) total += engine->pending_tokens();
+  return total;
+}
+
+EngineStats EnginePool::stats() const {
+  EngineStats total;
+  for (const auto& engine : engines_) {
+    const EngineStats s = engine->stats();
+    total.requests += s.requests;
+    total.batches += s.batches;
+    total.micro_batches += s.micro_batches;
+    total.valid_tokens += s.valid_tokens;
+    total.processed_tokens += s.processed_tokens;
+    total.compute_seconds += s.compute_seconds;
+  }
+  return total;
+}
+
+std::vector<EnginePool::ReplicaStats> EnginePool::replica_stats() const {
+  std::vector<ReplicaStats> out(engines_.size());
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    out[i].engine = engines_[i]->stats();
+    out[i].routed_requests = routed_[i].requests;
+    out[i].routed_tokens = routed_[i].tokens;
+    out[i].peak_outstanding = routed_[i].peak_outstanding;
+  }
+  return out;
+}
+
+}  // namespace bt::serving

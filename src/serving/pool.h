@@ -1,0 +1,154 @@
+// Replicated serving: a Router in front of N replica AsyncEngines sharing
+// one physical copy of the model weights.
+//
+// One AsyncEngine saturates at one scheduler thread in front of one Engine
+// Device. EnginePool is the next rung for heavy online traffic
+// (TurboTransformers-style serving, ROADMAP "multi-model sharding"): it owns
+// N replicas — each with its own Device whose workers partition the
+// machine's cores (threads_per_replica) — and routes every submitted request
+// to one of them through a pluggable RoutePolicy (router.h). The submit()
+// surface is identical to AsyncEngine, so call sites migrate by swapping the
+// type:
+//
+//   serving::EnginePoolOptions opts;
+//   opts.replicas = 4;
+//   opts.route = serving::RoutePolicy::kLeastOutstandingTokens;
+//   serving::EnginePool pool(model, opts);         // model: shared_ptr
+//   auto fut = pool.submit(std::move(hidden));     // any thread
+//   pool.stop();                                   // drains all replicas
+//
+// Weight sharing
+//   Every replica's inner BertModel aliases the same
+//   shared_ptr<const ModelWeights> — one copy of the FP16 weights AND the
+//   pre-packed GEMM panels (PackedPanels), packed once at model
+//   construction, never per-replica. Replicating a bert-base costs N
+//   scheduler threads and N workspaces, not N weight copies.
+//
+// Request ids
+//   The pool assigns ids from one pool-level tracker, so ids are unique
+//   across replicas and the duplicate-id contract of Engine::submit holds
+//   pool-wide.
+//
+// Deadlines
+//   Request::deadline passes through to the target replica, whose batching
+//   window pops earliest-deadline-first and closes early on a near
+//   deadline (see async_engine.h).
+//
+// Threading
+//   submit()/try_submit() are thread-safe. Routing decisions are serialized
+//   under the pool lock (so round-robin assignment order equals submission
+//   order), but the hand-off to the chosen replica happens outside it —
+//   a submit() blocking on one replica's full queue never stalls routing
+//   to the others.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serving/async_engine.h"
+#include "serving/router.h"
+
+namespace bt::serving {
+
+struct EnginePoolOptions {
+  AsyncEngineOptions engine;  // applied to every replica
+  int replicas = 1;
+  RoutePolicy route = RoutePolicy::kLeastOutstandingTokens;
+  // Device workers per replica. 0 = partition the machine: if
+  // engine.engine.threads is set, use that, else hardware_concurrency() /
+  // replicas (min 1) — so replicas split the cores instead of
+  // oversubscribing a shared global pool.
+  int threads_per_replica = 0;
+};
+
+class EnginePool {
+ public:
+  // Validates opts (replicas >= 1, threads_per_replica >= 0; per-replica
+  // options are validated by each AsyncEngine) and starts the replicas.
+  EnginePool(std::shared_ptr<const core::BertModel> model,
+             EnginePoolOptions opts);
+  EnginePool(core::BertModel model, EnginePoolOptions opts);
+  ~EnginePool();  // stop()
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  // Routes the request to a replica and returns its future. Blocks while
+  // the chosen replica's queue is full. Throws std::invalid_argument on a
+  // malformed tensor or duplicate caller-supplied id (pool-wide contract),
+  // std::runtime_error after stop().
+  std::future<Response> submit(Request req);
+  std::future<Response> submit(Tensor<fp16_t> hidden);
+
+  // Non-blocking variant: routes, then asks the chosen replica; returns
+  // std::nullopt when that replica's queue is full or the pool is stopped.
+  // It does not shop around — a declined request re-enters routing on the
+  // caller's retry, when the loads have moved.
+  std::optional<std::future<Response>> try_submit(Request req);
+
+  // Stops every replica (each drains: all accepted futures resolve), in
+  // replica order. Idempotent.
+  void stop();
+
+  bool stopped() const;
+
+  std::size_t replicas() const { return engines_.size(); }
+  std::size_t pending() const;        // across replicas
+  long long pending_tokens() const;   // across replicas
+
+  // Aggregated accounting across replicas.
+  EngineStats stats() const;
+
+  // Per-replica view for utilization reporting.
+  struct ReplicaStats {
+    EngineStats engine;               // replica's cumulative accounting
+    long long routed_requests = 0;    // requests this replica was assigned
+    long long routed_tokens = 0;      // their valid rows
+    std::size_t peak_outstanding = 0; // max outstanding seen at routing time
+  };
+  std::vector<ReplicaStats> replica_stats() const;
+
+  const core::BertModel& model() const { return engines_.front()->model(); }
+  // Read-only view of one replica (observability + the shared-weights
+  // identity tests; all replicas' models alias one ModelWeights).
+  const AsyncEngine& replica(std::size_t i) const { return *engines_[i]; }
+  const EnginePoolOptions& options() const { return opts_; }
+  int hidden() const { return engines_.front()->hidden(); }
+
+ private:
+  struct RouteDecision {
+    std::size_t target = 0;
+    std::size_t seen_outstanding = 0;  // the load the router observed
+  };
+  // Picks a replica and charges requests/tokens/in-transit to it. The
+  // in-transit share covers requests routed here but not yet visible in the
+  // replica's own pending() (the hand-off happens outside the pool lock):
+  // without it, a concurrent burst would see every replica at zero and
+  // tie-break onto replica 0. Callers must settle the in-transit charge via
+  // finish_hand_off / undo_route. Runs under mutex_.
+  RouteDecision route_and_account(const Request& req);
+  void finish_hand_off(const RouteDecision& d, long long tokens);  // accepted
+  void undo_route(const RouteDecision& d, long long tokens);  // declined/threw
+
+  EnginePoolOptions opts_;
+  std::vector<std::unique_ptr<AsyncEngine>> engines_;
+
+  mutable std::mutex mutex_;  // router state, id tracker, routing accounting
+  std::unique_ptr<Router> router_;
+  RequestIdTracker ids_;
+  struct Routed {
+    long long requests = 0;
+    long long tokens = 0;
+    long long in_transit_requests = 0;  // routed, replica enqueue pending
+    long long in_transit_tokens = 0;
+    std::size_t peak_outstanding = 0;
+  };
+  std::vector<Routed> routed_;
+  bool stop_ = false;
+};
+
+}  // namespace bt::serving

@@ -1,0 +1,83 @@
+#include "serving/router.h"
+
+namespace bt::serving {
+
+namespace {
+
+class RoundRobinRouter final : public Router {
+ public:
+  std::size_t pick(std::span<const ReplicaLoad> replicas,
+                   long long /*request_tokens*/) override {
+    const std::size_t target = next_ % replicas.size();
+    next_ = (next_ + 1) % replicas.size();
+    return target;
+  }
+  const char* name() const override {
+    return route_policy_name(RoutePolicy::kRoundRobin);
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class LeastOutstandingRequestsRouter final : public Router {
+ public:
+  std::size_t pick(std::span<const ReplicaLoad> replicas,
+                   long long /*request_tokens*/) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+      if (replicas[i].outstanding_requests <
+          replicas[best].outstanding_requests) {
+        best = i;  // strict < : ties stay on the lowest index
+      }
+    }
+    return best;
+  }
+  const char* name() const override {
+    return route_policy_name(RoutePolicy::kLeastOutstandingRequests);
+  }
+};
+
+class LeastOutstandingTokensRouter final : public Router {
+ public:
+  std::size_t pick(std::span<const ReplicaLoad> replicas,
+                   long long /*request_tokens*/) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+      if (replicas[i].outstanding_tokens < replicas[best].outstanding_tokens) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  const char* name() const override {
+    return route_policy_name(RoutePolicy::kLeastOutstandingTokens);
+  }
+};
+
+}  // namespace
+
+std::optional<RoutePolicy> parse_route_policy(std::string_view name) {
+  if (name == "rr" || name == "round-robin") return RoutePolicy::kRoundRobin;
+  if (name == "lor" || name == "least-outstanding-requests") {
+    return RoutePolicy::kLeastOutstandingRequests;
+  }
+  if (name == "lot" || name == "least-outstanding-tokens" || name == "jsq") {
+    return RoutePolicy::kLeastOutstandingTokens;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Router> make_router(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RoutePolicy::kLeastOutstandingRequests:
+      return std::make_unique<LeastOutstandingRequestsRouter>();
+    case RoutePolicy::kLeastOutstandingTokens:
+      return std::make_unique<LeastOutstandingTokensRouter>();
+  }
+  return std::make_unique<RoundRobinRouter>();  // unreachable
+}
+
+}  // namespace bt::serving

@@ -1,0 +1,73 @@
+// Request routing across engine replicas — the policy layer of EnginePool.
+//
+// A Router decides which replica AsyncEngine receives each submitted
+// request, given a live load snapshot of every replica. Policies mirror the
+// classic load-balancing ladder for replicated inference serving:
+//
+//   kRoundRobin                — cyclic assignment, load-blind. Determinate:
+//                                replica = submission_index % replicas, so a
+//                                seeded arrival trace replays to identical
+//                                assignments.
+//   kLeastOutstandingRequests  — join-shortest-queue on the number of
+//                                accepted-but-unresolved requests.
+//   kLeastOutstandingTokens    — join-shortest-queue on outstanding valid
+//                                tokens; the right metric here because
+//                                variable-length inputs make per-request
+//                                cost wildly non-uniform (the paper's whole
+//                                premise), so two queued requests can differ
+//                                by 100x in compute.
+//
+// All policies break ties toward the lowest replica index, making single-
+// threaded submission sequences fully reproducible.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace bt::serving {
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kLeastOutstandingRequests,
+  kLeastOutstandingTokens,
+};
+
+constexpr const char* route_policy_name(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kRoundRobin: return "rr";
+    case RoutePolicy::kLeastOutstandingRequests: return "lor";
+    case RoutePolicy::kLeastOutstandingTokens: return "lot";
+  }
+  return "?";
+}
+
+// Accepts the short names above plus the spelled-out aliases
+// ("round-robin", "least-outstanding-requests", "least-outstanding-tokens");
+// std::nullopt for anything else.
+std::optional<RoutePolicy> parse_route_policy(std::string_view name);
+
+// Load snapshot of one replica at routing time.
+struct ReplicaLoad {
+  std::size_t outstanding_requests = 0;  // accepted, future not yet resolved
+  long long outstanding_tokens = 0;      // their total valid rows
+};
+
+// Pluggable routing strategy. pick() returns the target replica index for a
+// request of `request_tokens` rows; `replicas` is non-empty. Implementations
+// must be deterministic functions of (internal state, arguments) — no clocks,
+// no randomness — so seeded traffic replays to identical assignments.
+// Routers are not thread-safe; EnginePool serializes calls under its lock.
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::size_t pick(std::span<const ReplicaLoad> replicas,
+                           long long request_tokens) = 0;
+  virtual const char* name() const = 0;
+};
+
+std::unique_ptr<Router> make_router(RoutePolicy policy);
+
+}  // namespace bt::serving

@@ -8,6 +8,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -320,6 +321,160 @@ TEST(AsyncEngine, RejectsInconsistentOptions) {
   opts = async_options({BatchPolicy::kPacked, core::OptFlags::bias_gelu_fused(), 0},
                        8, 0.0);
   EXPECT_THROW(AsyncEngine(shared_model(), opts), std::invalid_argument);
+}
+
+// ---- deadline-aware admission ----------------------------------------------
+
+// EDF ordering, observed through Response::round: a long deadline-less
+// blocker keeps the scheduler busy while three deadline requests queue up in
+// reverse-deadline order; with a request cap of 1, each subsequent round
+// serves exactly the earliest remaining deadline.
+TEST(AsyncEngine, DeadlineRequestsPopEarliestDeadlineFirst) {
+  auto opts = async_options(all_policies()[2], /*max_batch_requests=*/1,
+                            /*max_wait=*/0.0);
+  AsyncEngine engine(shared_model(), opts);
+  const std::int64_t h = engine.hidden();
+  Rng rng(21);
+
+  // The blocker dispatches first (round 0) and computes for tens of
+  // milliseconds. The sleep yields the core to the scheduler thread so the
+  // pop provably happened (on a single-core host the scheduler may not run
+  // between consecutive submits at all); the three microsecond-scale
+  // submits below then queue while the blocker computes.
+  auto blocker = engine.submit(Tensor<fp16_t>::random_normal({1024, h}, rng));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto late = engine.submit(Request{-1, Tensor<fp16_t>::random_normal({3, h}, rng),
+                                    deadline_in(100.0)});
+  auto mid = engine.submit(Request{-1, Tensor<fp16_t>::random_normal({4, h}, rng),
+                                   deadline_in(50.0)});
+  auto soon = engine.submit(Request{-1, Tensor<fp16_t>::random_normal({5, h}, rng),
+                                    deadline_in(10.0)});
+
+  EXPECT_EQ(blocker.get().round, 0);
+  EXPECT_EQ(soon.get().round, 1);  // earliest deadline, submitted last
+  EXPECT_EQ(mid.get().round, 2);
+  EXPECT_EQ(late.get().round, 3);
+  engine.stop();
+}
+
+// The FIFO bit-preservation half of the deadline contract: the identical
+// scenario without deadlines dispatches strictly in submission order.
+TEST(AsyncEngine, NoDeadlinesPreservesFifoDispatch) {
+  auto opts = async_options(all_policies()[2], /*max_batch_requests=*/1,
+                            /*max_wait=*/0.0);
+  AsyncEngine engine(shared_model(), opts);
+  const std::int64_t h = engine.hidden();
+  Rng rng(22);
+
+  auto blocker = engine.submit(Tensor<fp16_t>::random_normal({1024, h}, rng));
+  auto first = engine.submit(Tensor<fp16_t>::random_normal({3, h}, rng));
+  auto second = engine.submit(Tensor<fp16_t>::random_normal({4, h}, rng));
+  auto third = engine.submit(Tensor<fp16_t>::random_normal({5, h}, rng));
+
+  EXPECT_EQ(blocker.get().round, 0);
+  EXPECT_EQ(first.get().round, 1);
+  EXPECT_EQ(second.get().round, 2);
+  EXPECT_EQ(third.get().round, 3);
+  engine.stop();
+}
+
+// A queued deadline closes the batching window early: a lone request whose
+// SLO comes due in 50 ms must not sit out a 30 s window.
+TEST(AsyncEngine, NearDeadlineClosesBatchingWindowEarly) {
+  auto opts = async_options(all_policies()[2], /*max_batch_requests=*/8,
+                            /*max_wait=*/30.0);
+  AsyncEngine engine(shared_model(), opts);
+  const std::int64_t h = engine.hidden();
+  Rng rng(23);
+  auto fut = engine.submit(Request{-1, Tensor<fp16_t>::random_normal({6, h}, rng),
+                                   deadline_in(0.05)});
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+  EXPECT_EQ(fut.get().output.dim(0), 6);
+  engine.stop();
+}
+
+TEST(AsyncEngine, PendingTokensTracksOutstandingRows) {
+  auto opts = async_options(all_policies()[2], /*max_batch_requests=*/8,
+                            /*max_wait=*/30.0);
+  AsyncEngine engine(shared_model(), opts);
+  const std::int64_t h = engine.hidden();
+  Rng rng(24);
+  EXPECT_EQ(engine.pending_tokens(), 0);
+  auto a = engine.submit(Tensor<fp16_t>::random_normal({7, h}, rng));
+  auto b = engine.submit(Tensor<fp16_t>::random_normal({9, h}, rng));
+  // Both sit inside the held-open window: queued or in flight, they count.
+  EXPECT_EQ(engine.pending_tokens(), 16);
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.stop();
+  a.get();
+  b.get();
+  EXPECT_EQ(engine.pending_tokens(), 0);
+}
+
+// ---- stop()-drain fulfillment order -----------------------------------------
+
+// Regression: the shutdown drain must resolve every accepted promise in
+// dispatch order, with a submitter racing the drain. Request cap 1 gives
+// each request its own round, so Response::round exposes the dispatch order;
+// with no deadlines that order must equal id (submission) order, and stop()
+// must not return before every accepted future is ready — a dropped promise
+// would surface as a never-ready future or std::future_error.
+TEST(AsyncEngine, StopDrainResolvesInDispatchOrderWithMidDrainSubmitter) {
+  auto opts = async_options(all_policies()[2], /*max_batch_requests=*/1,
+                            /*max_wait=*/30.0);
+  AsyncEngine engine(shared_model(), opts);
+  const std::int64_t h = engine.hidden();
+
+  std::vector<std::future<Response>> futures;
+  Rng rng(25);
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        engine.submit(Tensor<fp16_t>::random_normal({64, h}, rng)));
+  }
+
+  // The mid-drain submitter keeps feeding requests until it observes the
+  // stopped engine; each accepted future must still resolve with a value.
+  std::mutex extra_mutex;
+  std::vector<std::future<Response>> extra;
+  std::thread submitter([&] {
+    Rng thread_rng(26);
+    try {
+      for (;;) {
+        auto fut =
+            engine.submit(Tensor<fp16_t>::random_normal({8, h}, thread_rng));
+        std::lock_guard lock(extra_mutex);
+        extra.push_back(std::move(fut));
+      }
+    } catch (const std::runtime_error&) {
+      // Engine stopped — expected.
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  engine.stop();
+  submitter.join();
+
+  {
+    std::lock_guard lock(extra_mutex);
+    for (auto& f : extra) futures.push_back(std::move(f));
+  }
+  // stop() drained: every accepted future is already resolved...
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "stop() returned with an unresolved promise";
+  }
+  // ...with a value (never a dropped/broken promise), and dispatch (round)
+  // order equals submission (id) order under FIFO.
+  std::vector<Response> responses;
+  for (auto& f : futures) responses.push_back(f.get());
+  std::sort(responses.begin(), responses.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].id, static_cast<RequestId>(i));  // ids dense
+    EXPECT_EQ(responses[i].round, static_cast<long long>(i));
+  }
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.stats().requests,
+            static_cast<long long>(responses.size()));
 }
 
 // Soak: several submitters race a tiny batching window and a small queue, so

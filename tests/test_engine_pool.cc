@@ -1,0 +1,377 @@
+// EnginePool: per-request bitwise equivalence with a single AsyncEngine for
+// every batching policy under concurrent submitters, one shared
+// ModelWeights/PackedPanels copy across replicas (packed exactly once),
+// deterministic routing, pool-wide id contract, aggregated stats, and
+// shutdown semantics.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/model.h"
+#include "serving/pool.h"
+#include "tensor/tensor.h"
+
+namespace bt::serving {
+namespace {
+
+core::BertConfig tiny_config() {
+  core::BertConfig cfg;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.head_size = 16;
+  return cfg;
+}
+
+std::shared_ptr<const core::BertModel> shared_model() {
+  static std::shared_ptr<const core::BertModel> model = [] {
+    Rng rng(4242);
+    return std::make_shared<const core::BertModel>(
+        core::BertModel::random(tiny_config(), rng));
+  }();
+  return model;
+}
+
+struct PolicyCase {
+  BatchPolicy policy;
+  core::OptFlags flags;
+  int group_size;
+};
+
+std::vector<PolicyCase> all_policies() {
+  return {
+      {BatchPolicy::kPadToMax, core::OptFlags::bias_gelu_fused(), 0},
+      {BatchPolicy::kSortGroup, core::OptFlags::layernorm_fused(), 2},
+      {BatchPolicy::kPacked, core::OptFlags::byte_transformer(), 0},
+  };
+}
+
+EnginePoolOptions pool_options(const PolicyCase& pc, int replicas,
+                               RoutePolicy route, int max_batch_requests,
+                               double max_wait_seconds) {
+  EnginePoolOptions opts;
+  opts.engine.engine.policy = pc.policy;
+  opts.engine.engine.flags = pc.flags;
+  opts.engine.engine.group_size = pc.group_size > 0 ? pc.group_size : 4;
+  opts.engine.engine.max_batch_requests = max_batch_requests;
+  opts.engine.max_wait_seconds = max_wait_seconds;
+  opts.replicas = replicas;
+  opts.route = route;
+  opts.threads_per_replica = 1;
+  return opts;
+}
+
+void expect_bits_equal(const Tensor<fp16_t>& got, const Tensor<fp16_t>& want) {
+  ASSERT_EQ(got.rank(), 2);
+  ASSERT_EQ(got.dim(0), want.dim(0));
+  ASSERT_EQ(got.dim(1), want.dim(1));
+  for (std::int64_t s = 0; s < got.dim(0); ++s) {
+    for (std::int64_t j = 0; j < got.dim(1); ++j) {
+      ASSERT_EQ(got(s, j).bits(), want(s, j).bits())
+          << "row " << s << " col " << j;
+    }
+  }
+}
+
+// ---- shared weights ---------------------------------------------------------
+
+TEST(EnginePool, ReplicasShareOneWeightsAndPackedPanelsCopy) {
+  EnginePoolOptions opts =
+      pool_options(all_policies()[2], /*replicas=*/3,
+                   RoutePolicy::kRoundRobin, 8, 0.0);
+  EnginePool pool(shared_model(), opts);
+  ASSERT_EQ(pool.replicas(), 3u);
+
+  const core::ModelWeights* canonical = pool.model().weights_ptr().get();
+  const float* canonical_panel =
+      canonical->layer(0).packed.qkv.panel(0, 0);
+  ASSERT_TRUE(canonical->layer(0).packed.ready);
+  for (std::size_t i = 0; i < pool.replicas(); ++i) {
+    // Same ModelWeights object and the same physical PackedB storage: the
+    // pool replicates schedulers and workspaces, never weights or panels.
+    EXPECT_EQ(pool.replica(i).model().weights_ptr().get(), canonical);
+    EXPECT_EQ(&pool.replica(i).model().weights(), canonical);
+    EXPECT_EQ(pool.replica(i).model().weights().layer(0).packed.qkv.panel(0, 0),
+              canonical_panel);
+  }
+  pool.stop();
+}
+
+TEST(EnginePool, SharedWeightsArePackedExactlyOnce) {
+  Rng rng(77);
+  auto weights = std::make_shared<core::ModelWeights>(
+      core::ModelWeights::random(tiny_config(), rng));
+  ASSERT_FALSE(weights->layers.front().packed.ready);
+
+  core::BertModel first(weights);  // packs here
+  ASSERT_TRUE(weights->layers.front().packed.ready);
+  const float* panel_storage = weights->layers.front().packed.qkv.panel(0, 0);
+
+  // A second model over the same weights must not re-pack: pack_panels
+  // reports zero newly packed layers and the panel storage is untouched.
+  EXPECT_EQ(weights->pack_panels(), 0u);
+  core::BertModel second(weights);
+  EXPECT_EQ(weights->layers.front().packed.qkv.panel(0, 0), panel_storage);
+  EXPECT_EQ(first.weights_ptr().get(), second.weights_ptr().get());
+}
+
+// ---- bitwise equivalence ----------------------------------------------------
+
+// The serving guarantee replication must not break: a request's output is a
+// function of its content and the model only — not of the replica it landed
+// on or the round composition there. Several submitter threads race into a
+// 2-replica pool; every output must bit-match the same request served by a
+// single AsyncEngine.
+TEST(EnginePool, BitMatchesSingleAsyncEnginePerPolicyUnderConcurrentSubmitters) {
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 4;
+  constexpr int kTotal = kThreads * kPerThread;
+  const std::int64_t h = shared_model()->config().hidden();
+
+  for (const PolicyCase& pc : all_policies()) {
+    for (RoutePolicy route :
+         {RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstandingTokens}) {
+      EnginePool pool(shared_model(),
+                      pool_options(pc, /*replicas=*/2, route,
+                                   /*max_batch_requests=*/4,
+                                   /*max_wait=*/0.0005));
+
+      std::vector<Tensor<fp16_t>> inputs(kTotal);
+      std::vector<std::future<Response>> futures(kTotal);
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+          for (int j = 0; j < kPerThread; ++j) {
+            const std::size_t slot =
+                static_cast<std::size_t>(t * kPerThread + j);
+            const int len = 2 + 3 * (static_cast<int>(slot) % 5);
+            Rng rng(1000 + t * 100 + j);
+            auto hidden = Tensor<fp16_t>::random_normal({len, h}, rng);
+            inputs[slot] = hidden.clone();
+            futures[slot] = pool.submit(Request{-1, std::move(hidden)});
+          }
+        });
+      }
+      for (auto& s : submitters) s.join();
+
+      // Reference: the identical request contents served by one AsyncEngine
+      // (caller ids = slots so responses map back).
+      AsyncEngineOptions single = pool.options().engine;
+      AsyncEngine reference(shared_model(), single);
+      std::vector<std::future<Response>> want(kTotal);
+      for (int slot = 0; slot < kTotal; ++slot) {
+        want[static_cast<std::size_t>(slot)] = reference.submit(
+            Request{slot, inputs[static_cast<std::size_t>(slot)].clone()});
+      }
+
+      for (int slot = 0; slot < kTotal; ++slot) {
+        Response got = futures[static_cast<std::size_t>(slot)].get();
+        Response ref = want[static_cast<std::size_t>(slot)].get();
+        expect_bits_equal(got.output, ref.output);
+      }
+      pool.stop();
+      reference.stop();
+      EXPECT_EQ(pool.stats().requests, kTotal);
+      EXPECT_EQ(pool.pending(), 0u);
+    }
+  }
+}
+
+// ---- routing ----------------------------------------------------------------
+
+// Round-robin is a pure function of submission order, so a seeded arrival
+// sequence reproduces the identical replica assignment — verified through
+// the exact per-replica request and token splits, twice.
+TEST(EnginePool, RoundRobinAssignmentIsDeterministic) {
+  const std::vector<int> lens{2, 3, 4, 5, 6, 7};
+  const std::int64_t h = shared_model()->config().hidden();
+
+  for (int run = 0; run < 2; ++run) {
+    EnginePool pool(shared_model(),
+                    pool_options(all_policies()[2], /*replicas=*/2,
+                                 RoutePolicy::kRoundRobin, 8,
+                                 /*max_wait=*/30.0));
+    std::vector<std::future<Response>> futures;
+    Rng rng(55);
+    for (int len : lens) {
+      futures.push_back(
+          pool.submit(Tensor<fp16_t>::random_normal({len, h}, rng)));
+    }
+    pool.stop();  // drains both replicas
+    for (auto& f : futures) f.get();
+
+    const auto rs = pool.replica_stats();
+    ASSERT_EQ(rs.size(), 2u);
+    // Evens (ids 0,2,4 -> lens 2,4,6) on replica 0, odds on replica 1.
+    EXPECT_EQ(rs[0].routed_requests, 3);
+    EXPECT_EQ(rs[0].routed_tokens, 2 + 4 + 6);
+    EXPECT_EQ(rs[1].routed_requests, 3);
+    EXPECT_EQ(rs[1].routed_tokens, 3 + 5 + 7);
+    // Routed == served: each replica's engine accounting agrees.
+    EXPECT_EQ(rs[0].engine.requests, 3);
+    EXPECT_EQ(rs[1].engine.requests, 3);
+    EXPECT_EQ(rs[0].engine.valid_tokens, 12);
+    EXPECT_EQ(rs[1].engine.valid_tokens, 15);
+  }
+}
+
+// Held-open windows keep every routed request outstanding, so the
+// join-shortest-queue decisions are fully deterministic.
+TEST(EnginePool, LeastOutstandingRoutingBalancesLoad) {
+  const std::int64_t h = shared_model()->config().hidden();
+  Rng rng(66);
+
+  {  // least-outstanding-requests: a,c on replica 0; b on replica 1.
+    EnginePool pool(shared_model(),
+                    pool_options(all_policies()[2], 2,
+                                 RoutePolicy::kLeastOutstandingRequests, 8,
+                                 /*max_wait=*/30.0));
+    auto a = pool.submit(Tensor<fp16_t>::random_normal({5, h}, rng));  // tie->0
+    auto b = pool.submit(Tensor<fp16_t>::random_normal({3, h}, rng));  // 1<-0 busy
+    auto c = pool.submit(Tensor<fp16_t>::random_normal({1, h}, rng));  // tie->0
+    pool.stop();
+    a.get(); b.get(); c.get();
+    const auto rs = pool.replica_stats();
+    EXPECT_EQ(rs[0].routed_requests, 2);
+    EXPECT_EQ(rs[0].routed_tokens, 6);
+    EXPECT_EQ(rs[1].routed_requests, 1);
+    EXPECT_EQ(rs[1].routed_tokens, 3);
+    EXPECT_EQ(rs[0].peak_outstanding, 2u);
+  }
+
+  {  // least-outstanding-tokens: balances rows, not request counts.
+    EnginePool pool(shared_model(),
+                    pool_options(all_policies()[2], 2,
+                                 RoutePolicy::kLeastOutstandingTokens, 8,
+                                 /*max_wait=*/30.0));
+    auto a = pool.submit(Tensor<fp16_t>::random_normal({5, h}, rng));  // 0 (tie)
+    auto b = pool.submit(Tensor<fp16_t>::random_normal({3, h}, rng));  // 1 (0<5)
+    auto c = pool.submit(Tensor<fp16_t>::random_normal({1, h}, rng));  // 1 (3<5)
+    auto d = pool.submit(Tensor<fp16_t>::random_normal({2, h}, rng));  // 1 (4<5)
+    auto e = pool.submit(Tensor<fp16_t>::random_normal({9, h}, rng));  // 0 (5<6)
+    pool.stop();
+    a.get(); b.get(); c.get(); d.get(); e.get();
+    const auto rs = pool.replica_stats();
+    EXPECT_EQ(rs[0].routed_requests, 2);
+    EXPECT_EQ(rs[0].routed_tokens, 5 + 9);
+    EXPECT_EQ(rs[1].routed_requests, 3);
+    EXPECT_EQ(rs[1].routed_tokens, 3 + 1 + 2);
+  }
+}
+
+// ---- pool-wide id contract --------------------------------------------------
+
+TEST(EnginePool, IdsAreUniqueAcrossReplicasAndDuplicatesRejected) {
+  EnginePool pool(shared_model(),
+                  pool_options(all_policies()[2], 2, RoutePolicy::kRoundRobin,
+                               8, /*max_wait=*/30.0));
+  const std::int64_t h = pool.hidden();
+  Rng rng(8);
+
+  // Auto ids count up pool-wide even though round-robin alternates replicas.
+  auto f0 = pool.submit(Tensor<fp16_t>::random_normal({2, h}, rng));
+  auto f1 = pool.submit(Tensor<fp16_t>::random_normal({2, h}, rng));
+  // A caller-supplied id collides pool-wide, even when the router would have
+  // sent it to the other replica.
+  auto f7 = pool.submit(Request{7, Tensor<fp16_t>::random_normal({2, h}, rng)});
+  EXPECT_THROW(
+      pool.submit(Request{7, Tensor<fp16_t>::random_normal({2, h}, rng)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      pool.submit(Request{0, Tensor<fp16_t>::random_normal({2, h}, rng)}),
+      std::invalid_argument);
+  // Malformed tensors throw the Engine contract's error.
+  EXPECT_THROW(pool.submit(Tensor<fp16_t>::zeros({4})), std::invalid_argument);
+
+  pool.stop();
+  EXPECT_EQ(f0.get().id, 0);
+  EXPECT_EQ(f1.get().id, 1);
+  EXPECT_EQ(f7.get().id, 7);
+}
+
+// ---- lifecycle --------------------------------------------------------------
+
+TEST(EnginePool, StopDrainsEveryReplicaAndRejectsLateSubmits) {
+  EnginePool pool(shared_model(),
+                  pool_options(all_policies()[2], 3, RoutePolicy::kRoundRobin,
+                               8, /*max_wait=*/30.0));
+  const std::int64_t h = pool.hidden();
+  Rng rng(9);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 9; ++i) {
+    futures.push_back(
+        pool.submit(Tensor<fp16_t>::random_normal({1 + i % 5, h}, rng)));
+  }
+  pool.stop();  // all three replica windows are still open: stop must drain
+  pool.stop();  // idempotent
+  EXPECT_TRUE(pool.stopped());
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "stop() returned before a replica finished draining";
+    f.get();
+  }
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(pool.pending_tokens(), 0);
+  EXPECT_EQ(pool.stats().requests, 9);
+
+  EXPECT_THROW(pool.submit(Tensor<fp16_t>::random_normal({3, h}, rng)),
+               std::runtime_error);
+  EXPECT_FALSE(
+      pool.try_submit(Request{-1, Tensor<fp16_t>::random_normal({3, h}, rng)})
+          .has_value());
+}
+
+TEST(EnginePool, TrySubmitDeclineDoesNotBurnTheCallerSuppliedId) {
+  // One replica, one queue slot: occupy the scheduler with a long round and
+  // fill the slot so the decline path is exercised deterministically.
+  EnginePoolOptions opts =
+      pool_options(all_policies()[2], 1, RoutePolicy::kRoundRobin, 1,
+                   /*max_wait=*/0.0);
+  opts.engine.max_queue = 1;
+  EnginePool pool(shared_model(), opts);
+  const std::int64_t h = pool.hidden();
+  Rng rng(10);
+
+  auto first = pool.submit(Tensor<fp16_t>::random_normal({512, h}, rng));
+  auto second = pool.submit(Tensor<fp16_t>::random_normal({512, h}, rng));
+  auto declined =
+      pool.try_submit(Request{99, Tensor<fp16_t>::random_normal({4, h}, rng)});
+  EXPECT_FALSE(declined.has_value());
+
+  EXPECT_EQ(first.get().output.dim(0), 512);
+  EXPECT_EQ(second.get().output.dim(0), 512);
+  // The declined id was not reserved: resubmitting it succeeds.
+  auto retry =
+      pool.submit(Request{99, Tensor<fp16_t>::random_normal({4, h}, rng)});
+  EXPECT_EQ(retry.get().id, 99);
+  pool.stop();
+  // Declined attempts also left no trace in the routing accounting.
+  const auto rs = pool.replica_stats();
+  EXPECT_EQ(rs[0].routed_requests, 3);
+}
+
+TEST(EnginePool, RejectsInconsistentOptions) {
+  EnginePoolOptions opts =
+      pool_options(all_policies()[2], 0, RoutePolicy::kRoundRobin, 8, 0.0);
+  EXPECT_THROW(EnginePool(shared_model(), opts), std::invalid_argument);
+
+  opts = pool_options(all_policies()[2], 2, RoutePolicy::kRoundRobin, 8, 0.0);
+  opts.threads_per_replica = -1;
+  EXPECT_THROW(EnginePool(shared_model(), opts), std::invalid_argument);
+
+  EXPECT_THROW(
+      EnginePool(std::shared_ptr<const core::BertModel>(),
+                 pool_options(all_policies()[2], 1, RoutePolicy::kRoundRobin,
+                              8, 0.0)),
+      std::invalid_argument);
+
+  // Replica-level validation surfaces through the pool constructor.
+  opts = pool_options(all_policies()[2], 2, RoutePolicy::kRoundRobin, 0, 0.0);
+  EXPECT_THROW(EnginePool(shared_model(), opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bt::serving
