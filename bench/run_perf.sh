@@ -8,6 +8,10 @@
 #   BENCH_serving.json — EnginePool requests/s and p50/p99 end-to-end
 #                        latency at 1/2/4 replicas (BM_ServingPool, default
 #                        GEMM kernel dispatch)
+#   BENCH_serving_multimodel.json — multi-model + sticky-session Service
+#                        scenario (BM_ServingService): req/s, p50/p99, and
+#                        the session sticky-hit rate at 1/2 replicas per
+#                        model
 #
 # Usage:  bench/run_perf.sh [build_dir] [out_dir]
 #   build_dir  cmake build tree holding the bench binaries  (default: build)
@@ -64,6 +68,11 @@ echo "== bench_serving_pool" >&2
 "$BUILD/bench_serving_pool" --benchmark_format=json \
     --benchmark_filter='BM_ServingPool' > "$TMP/serving_default.json"
 
+# Serving service: multi-model + sticky-session front-end scenario.
+echo "== bench_serving_pool (BM_ServingService)" >&2
+"$BUILD/bench_serving_pool" --benchmark_format=json \
+    --benchmark_filter='BM_ServingService' > "$TMP/multimodel_default.json"
+
 python3 - "$TMP" "$OUT" "${BT_PERF_BASELINE:-}" <<'PY'
 import json, sys, os
 
@@ -88,7 +97,8 @@ def records(path, requested):
             "cpu_time_ms": b["cpu_time"],
         }
         for key in ("gflops", "tokens_s", "alpha", "pad_waste",
-                    "req_s", "p50_ms", "p99_ms", "replicas"):
+                    "req_s", "p50_ms", "p99_ms", "replicas", "models",
+                    "session_hit"):
             if key in b:
                 rec[key] = b[key]
         yield ctx, rec
@@ -130,7 +140,8 @@ if baseline_path:
 
 merge("gemm", "BENCH_gemm.json")
 merge("fig15", "BENCH_fig15.json", extra)
-# The pool bench runs once under the default dispatch ("kernel" still
-# records which microkernel actually served the GEMMs).
+# The pool/service benches run once under the default dispatch ("kernel"
+# still records which microkernel actually served the GEMMs).
 merge("serving", "BENCH_serving.json", kernels=("default",))
+merge("multimodel", "BENCH_serving_multimodel.json", kernels=("default",))
 PY

@@ -1,37 +1,42 @@
 // Online-serving simulation — the scenario that motivates the paper
-// (TikTok/Douyin-style NLP serving with wildly varying sentence lengths).
+// (TikTok/Douyin-style NLP serving with wildly varying sentence lengths),
+// grown to the fleet shape the related serving systems assume: many models,
+// conversational sessions, and SLO deadlines behind one front door.
 //
 // Requests arrive as a real-time Poisson process and are submitted to a
-// serving::EnginePool from the arrival thread: a Router spreads them over
-// `--replicas` AsyncEngines (each with its own scheduler thread and Device)
-// that share one physical copy of the model weights, and every replica's
-// background scheduler forms batches inside a bounded batching window while
-// earlier rounds compute. Three batching policies are compared:
+// serving::Service from the arrival thread: a ModelRegistry maps
+// `--models N` model names to per-model EnginePool replica groups
+// (`--replicas` AsyncEngines each, sharing that model's weights), every
+// request carries a model key and optionally a session id (`--sessions`),
+// and the per-model router spreads requests over replicas — sticky-session
+// routing (`--sticky` or `--route sticky`) pins each session to the replica
+// whose per-session workspace is already warm. With `--slo-ms X` every
+// request carries a deadline X ms after submission; requests whose deadline
+// passes before compute are shed with a distinct error instead of burning
+// batch capacity. Three batching policies are compared:
 //   pad-to-max   — conventional frameworks,
 //   sort+group   — TurboTransformer SmartBatch proxy,
 //   packed       — ByteTransformer padding-free.
 // Prints throughput, end-to-end latency percentiles (arrival -> response),
-// padded-token waste per policy, and — with more than one replica — the
-// per-replica routing/utilization/queue-depth breakdown.
+// padded-token waste per policy, deadline met/missed/shed accounting, the
+// sticky-session hit rate plus workspace reuse, and — with more than one
+// replica — the per-model, per-replica routing/utilization breakdown.
 //
-// Usage: serving_simulator [--replicas N] [--route rr|lor|lot]
-//                          [--requests N] [--rps X]
-#include <algorithm>
-#include <chrono>
+// Usage: serving_simulator [--replicas N] [--route rr|lor|lot|sticky]
+//                          [--requests N] [--rps X] [--models N]
+//                          [--sessions N] [--sticky] [--slo-ms X]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <future>
 #include <memory>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
-#include "common/timer.h"
 #include "core/model.h"
-#include "serving/pool.h"
 #include "serving/request_gen.h"
+#include "serving/service.h"
 #include "tensor/tensor.h"
 
 namespace {
@@ -50,12 +55,16 @@ struct Args {
   serving::RoutePolicy route = serving::RoutePolicy::kLeastOutstandingTokens;
   int num_requests = 96;
   double rps = 400.0;
+  int models = 1;
+  int sessions = 0;   // 0 = stateless traffic
+  double slo_ms = 0;  // 0 = no deadlines
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--replicas N] [--route rr|lor|lot] "
-               "[--requests N] [--rps X]\n",
+               "usage: %s [--replicas N] [--route rr|lor|lot|sticky] "
+               "[--requests N] [--rps X]\n"
+               "          [--models N] [--sessions N] [--sticky] [--slo-ms X]\n",
                argv0);
   std::exit(2);
 }
@@ -64,6 +73,10 @@ Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const char* flag = argv[i];
+    if (std::strcmp(flag, "--sticky") == 0) {  // value-less convenience alias
+      args.route = serving::RoutePolicy::kStickySession;
+      continue;
+    }
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
     if (value == nullptr) usage(argv[0]);
     if (std::strcmp(flag, "--replicas") == 0) {
@@ -79,6 +92,15 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(flag, "--rps") == 0) {
       args.rps = std::atof(value);
       if (!(args.rps > 0)) usage(argv[0]);
+    } else if (std::strcmp(flag, "--models") == 0) {
+      args.models = std::atoi(value);
+      if (args.models < 1) usage(argv[0]);
+    } else if (std::strcmp(flag, "--sessions") == 0) {
+      args.sessions = std::atoi(value);
+      if (args.sessions < 0) usage(argv[0]);
+    } else if (std::strcmp(flag, "--slo-ms") == 0) {
+      args.slo_ms = std::atof(value);
+      if (args.slo_ms < 0) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -93,14 +115,34 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   const core::BertConfig cfg = core::BertConfig::bert_base().scaled(2, 2);
   Rng rng(77);
-  auto model = std::make_shared<const core::BertModel>(
-      core::BertModel::random(cfg, rng));
+
+  // One physical weight copy per registered model (each packed once); the
+  // replica groups inside each model's pool alias it.
+  std::vector<std::string> model_names;
+  std::vector<std::shared_ptr<const core::BertModel>> models;
+  for (int m = 0; m < args.models; ++m) {
+    model_names.push_back("bert-" + std::to_string(m));
+    models.push_back(std::make_shared<const core::BertModel>(
+        core::BertModel::random(cfg, rng)));
+  }
 
   const int num_requests = args.num_requests;
   const int max_seq = 256;
   const int batch_size = 8;
   const auto lengths = serving::gen_lengths(num_requests, max_seq, 0.6, rng);
   const auto arrivals = serving::gen_arrivals(num_requests, args.rps, rng);
+  // Per-request model key and session id, fixed across policies so every
+  // policy serves the identical trace.
+  std::vector<int> req_model(static_cast<std::size_t>(num_requests));
+  std::vector<int> req_session(static_cast<std::size_t>(num_requests), -1);
+  for (int i = 0; i < num_requests; ++i) {
+    req_model[static_cast<std::size_t>(i)] =
+        rng.uniform_int(0, args.models - 1);
+    if (args.sessions > 0) {
+      req_session[static_cast<std::size_t>(i)] =
+          rng.uniform_int(0, args.sessions - 1);
+    }
+  }
 
   const Policy policies[] = {
       {"pad-to-max", core::OptFlags::bias_gelu_fused(),
@@ -113,10 +155,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "serving %d requests at %.0f rps, max_seq %d, batch cap %d, alpha 0.6\n"
-      "engine pool: %d replica(s), route=%s, shared weights, 2 ms batching "
-      "window, Poisson arrivals\n\n",
-      num_requests, args.rps, max_seq, batch_size, args.replicas,
-      serving::route_policy_name(args.route));
+      "service: %d model(s) x %d replica(s), route=%s, %d session(s), "
+      "slo %.1f ms,\n"
+      "shared weights per model, 2 ms batching window, Poisson arrivals\n\n",
+      num_requests, args.rps, max_seq, batch_size, args.models, args.replicas,
+      serving::route_policy_name(args.route), args.sessions, args.slo_ms);
   // tok/ms(fwd) is compute-side throughput (valid tokens per forward-pass
   // millisecond): with real-time replay, total wall time is dominated by
   // the fixed arrival trace and would look identical across policies.
@@ -124,104 +167,115 @@ int main(int argc, char** argv) {
               "p50(ms)", "p95(ms)", "tok/ms(fwd)", "pad-waste");
 
   for (const Policy& pol : policies) {
-    serving::EnginePoolOptions opts;
-    opts.engine.engine.flags = pol.flags;
-    opts.engine.engine.policy = pol.batching;
-    opts.engine.engine.group_size = pol.group_size > 0 ? pol.group_size : 4;
-    opts.engine.engine.max_batch_requests = batch_size;
-    opts.engine.max_wait_seconds = 0.002;
-    opts.replicas = args.replicas;
-    opts.route = args.route;
-    serving::EnginePool pool(model, opts);
+    serving::EnginePoolOptions pool_opts;
+    pool_opts.engine.engine.flags = pol.flags;
+    pool_opts.engine.engine.policy = pol.batching;
+    pool_opts.engine.engine.group_size = pol.group_size > 0 ? pol.group_size : 4;
+    pool_opts.engine.engine.max_batch_requests = batch_size;
+    pool_opts.engine.max_wait_seconds = 0.002;
+    pool_opts.replicas = args.replicas;
+    pool_opts.route = args.route;
 
-    // Pre-build every request tensor so construction cost does not pollute
-    // the measured latencies or delay later submissions.
-    std::vector<Tensor<fp16_t>> requests;
+    serving::ModelRegistry registry;
+    for (int m = 0; m < args.models; ++m) {
+      registry.add(model_names[static_cast<std::size_t>(m)],
+                   models[static_cast<std::size_t>(m)], pool_opts);
+    }
+    serving::Service service(std::move(registry));
+
+    // Pre-build every request so construction cost does not pollute the
+    // measured latencies or delay later submissions. Deadlines are attached
+    // at submit time (inside the replay callback) so the SLO window starts
+    // at the request's arrival, not at trace-build time.
+    std::vector<serving::Request> requests;
     requests.reserve(static_cast<std::size_t>(num_requests));
     for (int i = 0; i < num_requests; ++i) {
       const int len = lengths[static_cast<std::size_t>(i)];
-      auto hidden = Tensor<fp16_t>({len, cfg.hidden()});
+      serving::Request req;
+      req.hidden = Tensor<fp16_t>({len, cfg.hidden()});
       for (std::int64_t s = 0; s < len; ++s) {
         for (int j = 0; j < cfg.hidden(); ++j) {
-          hidden(s, j) = fp16_t(0.01f * j);
+          req.hidden(s, j) = fp16_t(0.01f * j);
         }
       }
-      requests.push_back(std::move(hidden));
+      req.model = model_names[static_cast<std::size_t>(
+          req_model[static_cast<std::size_t>(i)])];
+      if (req_session[static_cast<std::size_t>(i)] >= 0) {
+        req.session =
+            "s" + std::to_string(req_session[static_cast<std::size_t>(i)]);
+      }
+      requests.push_back(std::move(req));
     }
 
-    // Replay the arrival trace in real time: each request is submitted when
-    // its Poisson timestamp comes due, while the replica schedulers batch
-    // and compute concurrently. End-to-end latency (arrival -> response) is
-    // measured by polling readiness: with several replicas, futures resolve
-    // out of submission order, so waiting on them in order would stamp an
-    // early completion with a lower-index straggler's finish time. The
-    // 200 us poll quantization is noise against the ms-scale latencies.
-    using clock = std::chrono::steady_clock;
-    constexpr auto kPollPeriod = std::chrono::microseconds(200);
-    std::vector<std::future<serving::Response>> futures(
-        static_cast<std::size_t>(num_requests));
-    std::vector<double> done_s(static_cast<std::size_t>(num_requests), -1.0);
-    int submitted = 0;
-    int resolved = 0;
-    const auto start = clock::now();
-    Timer wall;
-    const auto poll = [&] {
-      for (int i = 0; i < submitted; ++i) {
-        const auto s = static_cast<std::size_t>(i);
-        if (done_s[s] < 0 && futures[s].wait_for(std::chrono::seconds(0)) ==
-                                 std::future_status::ready) {
-          done_s[s] = std::chrono::duration<double>(clock::now() - start).count();
-          ++resolved;
-        }
-      }
-    };
-    for (int i = 0; i < num_requests; ++i) {
-      const auto due =
-          start + std::chrono::duration_cast<clock::duration>(
-                      std::chrono::duration<double>(
-                          arrivals[static_cast<std::size_t>(i)]));
-      while (clock::now() < due) {
-        poll();
-        std::this_thread::sleep_for(
-            std::min<clock::duration>(kPollPeriod, due - clock::now()));
-      }
-      futures[static_cast<std::size_t>(i)] =
-          pool.submit(std::move(requests[static_cast<std::size_t>(i)]));
-      ++submitted;
-    }
-    while (resolved < num_requests) {
-      poll();
-      if (resolved < num_requests) std::this_thread::sleep_for(kPollPeriod);
-    }
+    const serving::ReplayResult replay = serving::replay_trace(
+        arrivals, std::move(requests), [&](serving::Request req) {
+          if (args.slo_ms > 0) {
+            req.deadline = serving::deadline_in(args.slo_ms * 1e-3);
+          }
+          return service.submit(std::move(req));
+        });
+    // Latency percentiles cover served requests only: a shed request's
+    // future resolves almost immediately with DeadlineExceeded, and folding
+    // those near-zero times in would make deadline pressure look like a
+    // latency win.
     std::vector<double> latency;
     latency.reserve(static_cast<std::size_t>(num_requests));
-    for (std::size_t i = 0; i < done_s.size(); ++i) {
-      latency.push_back((done_s[i] - arrivals[i]) * 1e3);
+    for (std::size_t i = 0; i < replay.done_seconds.size(); ++i) {
+      if (!replay.failed[i]) {
+        latency.push_back((replay.done_seconds[i] - arrivals[i]) * 1e3);
+      }
     }
-    const double total_ms = wall.millis();
-    pool.stop();
+    const double total_ms = replay.last_done_seconds * 1e3;
+    service.stop();
 
-    const auto st = pool.stats();
+    const auto st = service.stats();
     std::printf("%-26s %10.1f %10.2f %10.2f %12.1f %9.0f%%\n", pol.name,
-                total_ms, stats::percentile(latency, 0.5),
-                stats::percentile(latency, 0.95),
-                static_cast<double>(st.valid_tokens) /
-                    (st.compute_seconds * 1e3),
-                100.0 * static_cast<double>(st.padding_tokens()) /
-                    static_cast<double>(st.processed_tokens));
+                total_ms,
+                latency.empty() ? 0.0 : stats::percentile(latency, 0.5),
+                latency.empty() ? 0.0 : stats::percentile(latency, 0.95),
+                st.compute_seconds > 0
+                    ? static_cast<double>(st.valid_tokens) /
+                          (st.compute_seconds * 1e3)
+                    : 0.0,
+                st.processed_tokens > 0
+                    ? 100.0 * static_cast<double>(st.padding_tokens()) /
+                          static_cast<double>(st.processed_tokens)
+                    : 0.0);
 
+    if (args.slo_ms > 0) {
+      std::printf("  deadlines: %lld met  %lld missed  %lld shed "
+                  "(%lld replay failures)\n",
+                  st.deadline_met, st.deadline_missed, st.deadline_shed,
+                  replay.failures());
+    }
+    if (args.sessions > 0) {
+      const auto sr = service.session_route_stats();
+      const long long ws_total = st.session_ws_hits + st.session_ws_misses;
+      std::printf(
+          "  sessions: %lld/%lld sticky-routed to their pin, workspace "
+          "hit rate %.0f%% (%lld/%lld)\n",
+          sr.sticky_hits, sr.session_requests,
+          ws_total > 0 ? 100.0 * static_cast<double>(st.session_ws_hits) /
+                             static_cast<double>(ws_total)
+                       : 0.0,
+          st.session_ws_hits, ws_total);
+    }
     if (args.replicas > 1) {
-      // Per-replica breakdown: routed share, compute-busy fraction of the
-      // trace (utilization), and the queue-depth high-water the router saw.
-      const auto rs = pool.replica_stats();
-      for (std::size_t r = 0; r < rs.size(); ++r) {
-        std::printf(
-            "  replica %zu: %3lld reqs %6lld tokens  %2lld rounds  "
-            "util %4.0f%%  peak queue %zu\n",
-            r, rs[r].routed_requests, rs[r].routed_tokens,
-            rs[r].engine.batches,
-            100.0 * rs[r].engine.compute_seconds / (total_ms * 1e-3),
-            rs[r].peak_outstanding);
+      // Per-model, per-replica breakdown: routed share, compute-busy
+      // fraction of the trace (utilization), and the queue-depth high-water
+      // the router saw.
+      for (const std::string& name : service.models()) {
+        const auto rs = service.pool(name).replica_stats();
+        for (std::size_t r = 0; r < rs.size(); ++r) {
+          if (rs[r].routed_requests == 0) continue;
+          std::printf(
+              "  %-8s replica %zu: %3lld reqs %6lld tokens  %2lld rounds  "
+              "util %4.0f%%  peak queue %zu\n",
+              name.c_str(), r, rs[r].routed_requests, rs[r].routed_tokens,
+              rs[r].engine.batches,
+              100.0 * rs[r].engine.compute_seconds / (total_ms * 1e-3),
+              rs[r].peak_outstanding);
+        }
       }
     }
   }
@@ -230,7 +284,8 @@ int main(int argc, char** argv) {
       "\npacked batching does the least redundant work per batch, which\n"
       "shows up as both lower tail latency and higher token throughput;\n"
       "each replica's scheduler overlaps its next round's batch formation\n"
-      "with the current round's compute, and the router keeps replicas'\n"
-      "outstanding work balanced so bursts spread instead of queueing.\n");
+      "with the current round's compute, the per-model routers keep\n"
+      "replicas' outstanding work balanced, and sticky sessions land on\n"
+      "the replica whose per-session workspace is already sized for them.\n");
   return 0;
 }

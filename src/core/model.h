@@ -6,7 +6,10 @@
 // lets a serving::EnginePool run N replica engines against one physical
 // copy of the weights *and* the persistent pre-packed GEMM panels: every
 // replica's BertModel aliases the same storage, and pack_panels() runs
-// exactly once (it is idempotent), never per-replica.
+// exactly once (it is idempotent), never per-replica. The contract is
+// per-model, not global: a serving::ModelRegistry holding several distinct
+// BertModels packs each model's weights once, and registering one model
+// under several names shares a single packed copy across all of them.
 //
 // With flags.zero_padding the input is packed once on entry, every layer
 // runs on packed rows, and the final hidden states are rebuilt to the padded

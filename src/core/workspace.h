@@ -38,6 +38,7 @@ class Workspace {
     if (buf.bytes < bytes) {
       buf.data.reset(static_cast<std::byte*>(std::aligned_alloc(kCacheLine, bytes)));
       buf.bytes = bytes;
+      ++allocations_;
     }
     return {reinterpret_cast<T*>(buf.data.get()), static_cast<std::size_t>(count)};
   }
@@ -48,6 +49,11 @@ class Workspace {
     return total;
   }
 
+  // Cumulative count of (re)allocations performed by get(). Steady-state
+  // reuse holds this constant — the observable the per-session workspace
+  // tests pin (a session's follow-up request must not allocate).
+  std::size_t allocations() const { return allocations_; }
+
  private:
   struct FreeDeleter {
     void operator()(std::byte* p) const noexcept { std::free(p); }
@@ -57,6 +63,7 @@ class Workspace {
     std::size_t bytes = 0;
   };
   std::unordered_map<std::string, Buffer> buffers_;
+  std::size_t allocations_ = 0;
 };
 
 }  // namespace bt::core

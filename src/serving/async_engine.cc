@@ -33,6 +33,7 @@ std::future<Response> AsyncEngine::enqueue_reserved_locked(Request&& req,
   q.hidden = std::move(req.hidden);
   q.arrival = Clock::now();
   q.deadline = req.deadline;
+  q.session = std::move(req.session);
   std::future<Response> fut = q.promise.get_future();
   queued_tokens_ += q.hidden.dim(0);
   if (q.deadline.has_value()) ++deadline_count_;
@@ -178,12 +179,15 @@ void AsyncEngine::scheduler_loop() {
     // move both the oldest-arrival anchor and the earliest deadline.
     if (!stop_ && opts_.max_wait_seconds > 0.0) {
       while (!stop_ && !queue_.empty() && !round_available_locked()) {
-        Clock::time_point close =
-            queue_.front().arrival +
-            std::chrono::duration_cast<Clock::duration>(
-                std::chrono::duration<double>(opts_.max_wait_seconds));
+        const auto window = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(opts_.max_wait_seconds));
+        Clock::time_point close = queue_.front().arrival + window;
         if (deadline_count_ > 0) {
-          close = std::min(close, earliest_deadline_locked());
+          // Dispatch with at least the batching window of slack before the
+          // earliest queued deadline: closing exactly at the deadline would
+          // pop the round already late and shed a request an idle engine
+          // had time to compute.
+          close = std::min(close, earliest_deadline_locked() - window);
         }
         if (Clock::now() >= close) break;
         cv_work_.wait_until(lock, close);
@@ -195,7 +199,7 @@ void AsyncEngine::scheduler_loop() {
     // first) order; submitters may refill the queue while the round
     // computes.
     const std::vector<std::size_t> order = admission_order_locked();
-    const std::size_t count = admit_count(
+    std::size_t count = admit_count(
         queue_.size(), opts_.engine.max_batch_requests,
         opts_.engine.max_batch_tokens,
         [&](std::size_t i) { return queue_[order[i]].hidden.dim(0); });
@@ -231,15 +235,52 @@ void AsyncEngine::scheduler_loop() {
     lock.unlock();
     cv_space_.notify_all();
 
+    // Shed before compute: a deadline that has already passed cannot be
+    // met, so spending batch capacity on it would only delay live requests.
+    // Deadline-less traffic never enters `shed`, preserving the bitwise
+    // FIFO guarantee.
+    std::vector<Queued> live;
+    std::vector<Queued> shed;
+    live.reserve(round.size());
+    for (Queued& q : round) {
+      if (q.deadline.has_value() && *q.deadline < round_start) {
+        shed.push_back(std::move(q));
+      } else {
+        live.push_back(std::move(q));
+      }
+    }
+    if (!shed.empty()) {
+      // Fail the shed futures now, before the live round computes: the
+      // decision is already final, and an SLO-aware caller (retry, hedging)
+      // should not learn about it a full round late.
+      long long shed_tokens = 0;
+      for (const Queued& q : shed) shed_tokens += q.hidden.dim(0);
+      auto shed_error = std::make_exception_ptr(DeadlineExceeded(
+          "AsyncEngine: request deadline passed before compute (shed)"));
+      lock.lock();
+      count -= shed.size();
+      round_tokens -= shed_tokens;
+      in_flight_ -= shed.size();
+      in_flight_tokens_ -= shed_tokens;
+      deadline_shed_ += static_cast<long long>(shed.size());
+      stats_.deadline_shed = deadline_shed_;
+      for (Queued& q : shed) q.promise.set_exception(shed_error);
+      lock.unlock();
+    }
+
     // Compute outside the lock: the inner Engine is only ever touched here.
     std::vector<Response> responses;
     bool failed = false;
     std::exception_ptr error;
     try {
-      for (Queued& q : round) {
-        engine_.submit(Request{q.id, std::move(q.hidden)});
+      for (Queued& q : live) {
+        Request r;
+        r.id = q.id;
+        r.hidden = std::move(q.hidden);
+        r.session = std::move(q.session);
+        engine_.submit(std::move(r));
       }
-      responses = engine_.drain();
+      if (!live.empty()) responses = engine_.drain();
     } catch (...) {
       failed = true;
       error = std::current_exception();
@@ -249,15 +290,15 @@ void AsyncEngine::scheduler_loop() {
     // pending() never counts a request whose future already resolved (and
     // never reports zero while one is still unresolved).
     lock.lock();
-    in_flight_ -= count;
+    in_flight_ -= count;  // the live share; shed accounting settled above
     in_flight_tokens_ -= round_tokens;
     stats_ = engine_.stats();
-    if (failed || responses.size() != round.size()) {
+    if (failed || responses.size() != live.size()) {
       if (!error) {
         error = std::make_exception_ptr(std::runtime_error(
             "AsyncEngine: inner engine lost responses for a round"));
       }
-      for (Queued& q : round) q.promise.set_exception(error);
+      for (Queued& q : live) q.promise.set_exception(error);
       // A mid-compute failure leaves the round's unprocessed requests
       // queued inside the inner engine; drop them so they cannot bleed into
       // the next round's drain() and fail healthy requests.
@@ -268,13 +309,25 @@ void AsyncEngine::scheduler_loop() {
       // order contract stop()'s drain relies on. The inner engine only saw
       // each request at round start, so rewrite queue_seconds to cover the
       // async wait (submit -> round start).
-      for (std::size_t i = 0; i < round.size(); ++i) {
+      const auto resolved_at = Clock::now();
+      for (std::size_t i = 0; i < live.size(); ++i) {
         responses[i].queue_seconds =
-            std::chrono::duration<double>(round_start - round[i].arrival)
+            std::chrono::duration<double>(round_start - live[i].arrival)
                 .count();
-        round[i].promise.set_value(std::move(responses[i]));
+        responses[i].model = opts_.model_name;
+        responses[i].replica = opts_.replica_index;
+        if (live[i].deadline.has_value()) {
+          (resolved_at <= *live[i].deadline) ? ++deadline_met_
+                                             : ++deadline_missed_;
+        }
+        live[i].promise.set_value(std::move(responses[i]));
       }
     }
+    // Overlay the executor-level deadline accounting onto the inner
+    // engine's snapshot (which cannot know about deadlines or shedding).
+    stats_.deadline_met = deadline_met_;
+    stats_.deadline_missed = deadline_missed_;
+    stats_.deadline_shed = deadline_shed_;
   }
 
   // Only reachable with stop_ set and the queue observed empty, so every

@@ -27,14 +27,20 @@
 //   queued request has waited max_wait_seconds, whichever comes first —
 //   the usual latency/throughput knob for dynamic batching.
 //
-// Deadline-aware admission
+// Deadline-aware admission and shedding
 //   While no queued request carries a Request::deadline, admission is
 //   strict FIFO (bitwise-identical to the pre-deadline engine). As soon as
 //   any queued request has one, rounds pop earliest-deadline-first
 //   (deadline-less requests order last, FIFO among themselves; queue
-//   position breaks ties), and the batching window closes early at the
-//   earliest queued deadline so a near-SLO request is bumped into the next
-//   round ahead of fresher arrivals instead of waiting out the window.
+//   position breaks ties), and the batching window closes early — one
+//   window of slack before the earliest queued deadline — so a near-SLO
+//   request is bumped into the next round ahead of fresher arrivals with
+//   time left to compute instead of waiting out the window.
+//   A request whose deadline has already passed when its round starts
+//   computing is shed: its future fails with serving::DeadlineExceeded
+//   and no compute is spent on it. stats() carries the accounting —
+//   deadline_shed, plus deadline_met / deadline_missed for requests whose
+//   response resolved before / after its deadline.
 //
 // Backpressure
 //   The submission queue is bounded (max_queue). submit() blocks until
@@ -71,6 +77,11 @@ struct AsyncEngineOptions {
   std::size_t max_queue = 1024;    // bounded submission queue (backpressure)
   double max_wait_seconds = 0.002; // batching window from the oldest request;
                                    // 0 dispatches as soon as work exists
+  // Provenance stamped into every Response: the registry name this engine
+  // serves and its replica index within an EnginePool. Set by the owning
+  // EnginePool/Service; the defaults mark a standalone engine.
+  std::string model_name;
+  int replica_index = -1;
 };
 
 class AsyncEngine {
@@ -128,6 +139,7 @@ class AsyncEngine {
     std::promise<Response> promise;
     Clock::time_point arrival;
     std::optional<Deadline> deadline;
+    std::optional<std::string> session;
   };
 
   std::future<Response> enqueue_reserved_locked(Request&& req, RequestId id);
@@ -152,6 +164,9 @@ class AsyncEngine {
   long long in_flight_tokens_ = 0;    // their valid tokens
   RequestIdTracker ids_;
   EngineStats stats_;                 // snapshot, updated per round
+  long long deadline_met_ = 0;        // resolved before its deadline
+  long long deadline_missed_ = 0;     // computed, resolved after its deadline
+  long long deadline_shed_ = 0;       // deadline passed before compute
   bool stop_ = false;
 
   std::mutex join_mutex_;  // serializes the joinable-check/join in stop()

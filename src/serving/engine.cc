@@ -32,6 +32,11 @@ void validate_options(const EngineOptions& opts) {
     throw std::invalid_argument(
         "EngineOptions: max_batch_requests must be positive");
   }
+  if (opts.session_workspaces < -1) {
+    throw std::invalid_argument(
+        "EngineOptions: session_workspaces must be >= -1 (-1 = auto, "
+        "0 disables the per-session workspace cache)");
+  }
 }
 
 }  // namespace
@@ -45,20 +50,27 @@ Engine::Engine(std::shared_ptr<const core::BertModel> model,
     throw std::invalid_argument("Engine: model must not be null");
   }
   validate_options(opts_);
+  // -1 = auto: standalone engines leave the cache off; a sticky-routed
+  // EnginePool already resolved it to kStickySessionWorkspaces.
+  if (opts_.session_workspaces < 0) opts_.session_workspaces = 0;
 }
 
 Engine::Engine(core::BertModel model, EngineOptions opts)
     : Engine(std::make_shared<const core::BertModel>(std::move(model)),
              opts) {}
 
-void validate_request(const char* who, const Tensor<fp16_t>& hidden,
-                      std::int64_t hidden_dim, RequestId requested,
-                      const RequestIdTracker& ids) {
-  if (hidden.rank() != 2 || hidden.dim(0) < 1 || hidden.dim(1) != hidden_dim) {
-    throw std::invalid_argument(std::string(who) +
-                                ": hidden must be [length >= 1, " +
-                                std::to_string(hidden_dim) + "]");
+void validate_request_shape(const char* who, const Tensor<fp16_t>& hidden,
+                            std::int64_t hidden_dim) {
+  if (hidden.rank() != 2 || hidden.dim(0) < 1 ||
+      (hidden_dim >= 0 && hidden.dim(1) != hidden_dim)) {
+    throw std::invalid_argument(
+        std::string(who) + ": hidden must be [length >= 1, " +
+        (hidden_dim >= 0 ? std::to_string(hidden_dim) : "hidden") + "]");
   }
+}
+
+void validate_request_id(const char* who, RequestId requested,
+                         const RequestIdTracker& ids) {
   if (requested == std::numeric_limits<RequestId>::max()) {
     // The tracker's watermark is one past the largest issued id; issuing
     // the maximum representable id would overflow it.
@@ -71,6 +83,13 @@ void validate_request(const char* who, const Tensor<fp16_t>& hidden,
         " collides with a queued or previously issued id; duplicate "
         "Response::ids would be indistinguishable to the caller");
   }
+}
+
+void validate_request(const char* who, const Tensor<fp16_t>& hidden,
+                      std::int64_t hidden_dim, RequestId requested,
+                      const RequestIdTracker& ids) {
+  validate_request_shape(who, hidden, hidden_dim);
+  validate_request_id(who, requested, ids);
 }
 
 RequestId validate_and_reserve_id(const char* who,
@@ -86,12 +105,58 @@ RequestId validate_and_reserve_id(const char* who,
 RequestId Engine::submit(Request req) {
   const RequestId id = validate_and_reserve_id("Engine::submit", req.hidden,
                                                hidden(), req.id, ids_);
-  queue_.push_back(Pending{id, std::move(req.hidden), Timer()});
+  queue_.push_back(
+      Pending{id, std::move(req.hidden), Timer(), std::move(req.session)});
   return id;
 }
 
 RequestId Engine::submit(Tensor<fp16_t> hidden) {
   return submit(Request{-1, std::move(hidden)});
+}
+
+core::Workspace& Engine::round_workspace(std::size_t count) {
+  if (opts_.session_workspaces <= 0 || count == 0 ||
+      !queue_[0].session.has_value()) {
+    return ws_;
+  }
+  const std::string& session = *queue_[0].session;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (!queue_[i].session.has_value() || *queue_[i].session != session) {
+      return ws_;  // mixed round: no single owner to charge the buffers to
+    }
+  }
+  const long long n = static_cast<long long>(count);
+  for (auto it = session_ws_.begin(); it != session_ws_.end(); ++it) {
+    if (it->session == session) {
+      session_ws_.splice(session_ws_.end(), session_ws_, it);  // refresh LRU
+      stats_.session_ws_hits += n;
+      return session_ws_.back().ws;
+    }
+  }
+  if (session_ws_.size() >= static_cast<std::size_t>(opts_.session_workspaces)) {
+    // Evict the least recently used session but recycle its storage: the
+    // new session inherits the buffers (same grow-only keys), so traffic
+    // with more live sessions than the cap degrades to shared-workspace
+    // behaviour — allocation-free at steady state — instead of freeing and
+    // re-mallocing a full activation workspace every round.
+    session_ws_.splice(session_ws_.end(), session_ws_, session_ws_.begin());
+    session_ws_.back().session = session;
+  } else {
+    session_ws_.push_back(SessionWorkspace{session, core::Workspace()});
+  }
+  stats_.session_ws_misses += n;
+  return session_ws_.back().ws;
+}
+
+void Engine::refresh_workspace_allocations() {
+  long long total = static_cast<long long>(ws_.allocations());
+  for (const SessionWorkspace& s : session_ws_) {
+    total += static_cast<long long>(s.ws.allocations());
+  }
+  // Counts survive eviction (the evicted workspace is recycled, counter and
+  // all), so the sum only moves when a live workspace truly allocates —
+  // which is what "a follow-up must not allocate" pins.
+  stats_.workspace_allocations = total;
 }
 
 std::vector<Response> Engine::run_batch() {
@@ -111,12 +176,13 @@ std::vector<Response> Engine::run_batch() {
   const BatchPlan plan = plan_batch(opts_.policy, lengths, opts_.group_size);
   const std::int64_t h = hidden();
   std::vector<Response> responses(count);
+  core::Workspace& ws = round_workspace(count);
 
   for (const MicroBatch& mb : plan.micro) {
     const std::int64_t gb = static_cast<std::int64_t>(mb.indices.size());
     const std::int64_t rows = gb * mb.max_len;
-    auto in = ws_.get<fp16_t>("engine.in", rows * h);
-    auto out = ws_.get<fp16_t>("engine.out", rows * h);
+    auto in = ws.get<fp16_t>("engine.in", rows * h);
+    auto out = ws.get<fp16_t>("engine.out", rows * h);
 
     // Zero-padded gather: request i's valid rows form the prefix of padded
     // row-block i, matching build_seq_offsets' prefix-mask convention.
@@ -133,7 +199,7 @@ std::vector<Response> Engine::run_batch() {
 
     StageTimes stages;
     Timer t;
-    model_->forward(dev_, in.data(), out.data(), off, opts_.flags, ws_,
+    model_->forward(dev_, in.data(), out.data(), off, opts_.flags, ws,
                     &stages);
     const double compute = t.seconds();
     stats_.compute_seconds += compute;
@@ -151,6 +217,7 @@ std::vector<Response> Engine::run_batch() {
       r.compute_seconds = compute;
       r.round = stats_.batches;  // 0-based: incremented after the round
       r.stages = stages;
+      r.session = std::move(queue_[pos].session);  // each pos scatters once
     }
   }
 
@@ -161,6 +228,7 @@ std::vector<Response> Engine::run_batch() {
   stats_.micro_batches += static_cast<long long>(plan.micro.size());
   stats_.valid_tokens += plan.valid_tokens;
   stats_.processed_tokens += plan.processed_tokens;
+  refresh_workspace_allocations();
   return responses;
 }
 

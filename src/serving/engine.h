@@ -16,19 +16,21 @@
 // calling thread (the engine's Device parallelizes the kernels), and the
 // object is not thread-safe — one thread owns it. For online traffic use
 // serving::AsyncEngine (serving/async_engine.h), the pipelined executor
-// that runs this Engine behind a background scheduler thread; multi-model
-// sharding and session reuse planned on the roadmap slot in behind the same
-// surface.
+// that runs this Engine behind a background scheduler thread; replicated
+// and multi-model serving stack EnginePool (serving/pool.h) and Service
+// (serving/service.h) on top of the same Request/Response surface.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/timer.h"
@@ -51,6 +53,22 @@ struct EngineOptions {
                                    // (always admits at least one request)
   int threads = 0;               // engine Device workers; 0 = global pool
   std::size_t scratch_bytes = par::CtaScratch::kDefaultBytes;
+  // Per-session workspace cache: when every request of a round carries the
+  // same Request::session, the round runs on that session's own Workspace,
+  // so a conversational follow-up finds its buffers already sized (zero
+  // allocations — EngineStats::workspace_allocations is the proof) instead
+  // of resizing the engine-wide scratch behind other sessions' traffic. At
+  // most this many sessions keep a workspace; evicting the least-recently-
+  // used session recycles its buffers into the incoming one, so traffic
+  // with more live sessions than the cap costs a cache miss, never a round
+  // of reallocation. Each retained workspace holds a full set of
+  // activation-sized buffers, so the cache is opt-in: -1 (the default)
+  // means auto — disabled on a standalone Engine/AsyncEngine, while
+  // EnginePool raises it to kStickySessionWorkspaces for replicas of a
+  // pool routed with RoutePolicy::kStickySession (the policy whose whole
+  // point is landing a session where its workspace is warm). 0 forces the
+  // cache off even under sticky routing; > 0 sets the cap explicitly.
+  int session_workspaces = -1;
 };
 
 // Absolute SLO deadline on the serving clock. All deadline comparisons run
@@ -64,15 +82,36 @@ inline Deadline deadline_in(double seconds) {
              std::chrono::duration<double>(seconds));
 }
 
+// A request whose deadline passed before its round started computing is
+// shed: its future resolves with this error (distinct from the generic
+// runtime errors, so callers can tell "too late, not computed" from real
+// failures) and EngineStats::deadline_shed counts it.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct Request {
   RequestId id = -1;       // < 0: engine assigns the next sequential id
   Tensor<fp16_t> hidden;   // [length, hidden] valid rows only (no padding)
   // Optional SLO deadline. The synchronous Engine processes its queue in
   // submission order and ignores it; AsyncEngine (and EnginePool replicas)
-  // pop earliest-deadline-first whenever any queued request carries one, and
-  // a near/past deadline closes the batching window early. With no deadlines
-  // anywhere the admission order is bitwise-identical to strict FIFO.
+  // pop earliest-deadline-first whenever any queued request carries one, a
+  // near/past deadline closes the batching window early, and a request whose
+  // deadline passed before compute is shed with DeadlineExceeded. With no
+  // deadlines anywhere the admission order is bitwise-identical to strict
+  // FIFO.
   std::optional<Deadline> deadline = std::nullopt;
+  // Registry key for multi-model serving. Consumed by serving::Service
+  // (std::nullopt = the service's default model); Engine/AsyncEngine/
+  // EnginePool ignore it — they serve exactly one model by construction.
+  std::optional<std::string> model = std::nullopt;
+  // Session identity for conversational traffic. Under
+  // RoutePolicy::kStickySession the session is pinned to the replica that
+  // served its first request, and the replica keeps a per-session Workspace
+  // (EngineOptions::session_workspaces) so follow-ups skip reallocation.
+  // Sessionless requests behave exactly as before.
+  std::optional<std::string> session = std::nullopt;
 };
 
 // Tracks which request ids have ever been issued, so duplicate
@@ -136,7 +175,14 @@ class RequestIdTracker {
 // scheduler): validates the tensor shape and the id against `ids`, throwing
 // std::invalid_argument with `who` naming the API in the message. Mutates
 // nothing — AsyncEngine::try_submit uses it to report programming errors
-// even when it then declines the request for backpressure.
+// even when it then declines the request for backpressure. The two halves
+// are also callable separately: Service runs the model-independent checks
+// (shape with hidden_dim < 0 = "any width", id) before it has resolved
+// which model — and so which hidden width — the request is for.
+void validate_request_shape(const char* who, const Tensor<fp16_t>& hidden,
+                            std::int64_t hidden_dim);
+void validate_request_id(const char* who, RequestId requested,
+                         const RequestIdTracker& ids);
 void validate_request(const char* who, const Tensor<fp16_t>& hidden,
                       std::int64_t hidden_dim, RequestId requested,
                       const RequestIdTracker& ids);
@@ -157,9 +203,19 @@ struct Response {
                                // request (dispatch order is observable:
                                // promises resolve in non-decreasing rounds)
   StageTimes stages;           // stage breakdown of the owning micro-batch
+  // Provenance: which registered model / replica served the request, and
+  // the session it belonged to. `model` is the registry name the serving
+  // tier was built under (empty on a bare Engine/AsyncEngine/EnginePool);
+  // `replica` is the EnginePool replica index (-1 outside a pool);
+  // `session` echoes Request::session.
+  std::string model;
+  int replica = -1;
+  std::optional<std::string> session = std::nullopt;
 };
 
 // Cumulative accounting across every scheduling round of the engine.
+// `requests`/token counters cover requests that actually computed; shed
+// requests (deadline passed before compute) appear only in deadline_shed.
 struct EngineStats {
   long long requests = 0;
   long long batches = 0;         // scheduling rounds that did work
@@ -168,7 +224,40 @@ struct EngineStats {
   long long processed_tokens = 0;  // per-policy padded-token accounting
   double compute_seconds = 0;
 
+  // Session workspace reuse (Engine-maintained): requests of rounds served
+  // from an already-warm per-session workspace vs. rounds that created one.
+  long long session_ws_hits = 0;
+  long long session_ws_misses = 0;
+  // Cumulative Workspace::allocations() across the engine-wide and every
+  // retained session workspace, as of the last round.
+  long long workspace_allocations = 0;
+
+  // Deadline accounting (AsyncEngine-maintained; the synchronous Engine
+  // ignores deadlines and leaves these zero): responses resolved before /
+  // after their deadline, and requests shed before compute.
+  long long deadline_met = 0;
+  long long deadline_missed = 0;
+  long long deadline_shed = 0;
+
   long long padding_tokens() const { return processed_tokens - valid_tokens; }
+
+  // Accumulates `o` into this — the one place that knows every field, so
+  // fleet-level aggregation (EnginePool::stats, Service::stats) cannot
+  // silently drop a newly added counter.
+  void merge(const EngineStats& o) {
+    requests += o.requests;
+    batches += o.batches;
+    micro_batches += o.micro_batches;
+    valid_tokens += o.valid_tokens;
+    processed_tokens += o.processed_tokens;
+    compute_seconds += o.compute_seconds;
+    session_ws_hits += o.session_ws_hits;
+    session_ws_misses += o.session_ws_misses;
+    workspace_allocations += o.workspace_allocations;
+    deadline_met += o.deadline_met;
+    deadline_missed += o.deadline_missed;
+    deadline_shed += o.deadline_shed;
+  }
 };
 
 class Engine {
@@ -217,12 +306,26 @@ class Engine {
     RequestId id;
     Tensor<fp16_t> hidden;
     Timer queued;
+    std::optional<std::string> session;
   };
+
+  // Workspace for the round formed by the first `count` queued requests:
+  // when all of them carry the same session id (the conversational
+  // turn-taking shape sticky routing produces) the session's cached
+  // workspace — created/refreshed under the LRU cap, hit/miss accounted;
+  // otherwise the engine-wide one.
+  core::Workspace& round_workspace(std::size_t count);
+  void refresh_workspace_allocations();
 
   EngineOptions opts_;
   std::shared_ptr<const core::BertModel> model_;
   par::Device dev_;
   core::Workspace ws_;
+  struct SessionWorkspace {
+    std::string session;
+    core::Workspace ws;
+  };
+  std::list<SessionWorkspace> session_ws_;  // LRU order: back = most recent
   std::deque<Pending> queue_;
   RequestIdTracker ids_;  // rejects duplicate caller-supplied ids
   EngineStats stats_;

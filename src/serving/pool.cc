@@ -38,6 +38,14 @@ EnginePool::EnginePool(std::shared_ptr<const core::BertModel> model,
   }
   AsyncEngineOptions replica_opts = opts_.engine;
   replica_opts.engine.threads = resolve_threads_per_replica(opts_);
+  replica_opts.model_name = opts_.model_name;
+  if (opts_.route == RoutePolicy::kStickySession &&
+      replica_opts.engine.session_workspaces < 0) {
+    // Sticky routing exists to land sessions on warm workspaces; give the
+    // replicas the cache unless the caller sized it explicitly (0 = a
+    // deliberate off, which stays off).
+    replica_opts.engine.session_workspaces = kStickySessionWorkspaces;
+  }
   router_ = make_router(opts_.route);
   routed_.resize(static_cast<std::size_t>(opts_.replicas));
   engines_.reserve(static_cast<std::size_t>(opts_.replicas));
@@ -45,6 +53,7 @@ EnginePool::EnginePool(std::shared_ptr<const core::BertModel> model,
     // Every replica aliases the same BertModel (and so the same
     // ModelWeights + PackedPanels storage): replication costs scheduler
     // threads and workspaces, not weight copies.
+    replica_opts.replica_index = i;
     engines_.push_back(std::make_unique<AsyncEngine>(model, replica_opts));
   }
 }
@@ -67,14 +76,24 @@ EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
     loads[i].outstanding_tokens =
         engines_[i]->pending_tokens() + routed_[i].in_transit_tokens;
   }
-  const long long tokens = req.hidden.dim(0);
-  const std::size_t target = router_->pick(loads, tokens);
-  Routed& acct = routed_[target];
+  RouteRequest route_req(req.hidden.dim(0));
+  RouteDecision decision;
+  if (req.session.has_value()) {
+    route_req.session = *req.session;
+    decision.sessioned = true;
+  }
+  // sticky_hit: an existing pin decided the pick (reported by the router so
+  // the hot path pays exactly one pin lookup).
+  decision.target = router_->pick(loads, route_req, &decision.sticky_hit);
+  decision.seen_outstanding = loads[decision.target].outstanding_requests;
+  Routed& acct = routed_[decision.target];
   acct.requests += 1;
-  acct.tokens += tokens;
+  acct.tokens += req.hidden.dim(0);
   acct.in_transit_requests += 1;
-  acct.in_transit_tokens += tokens;
-  return {target, loads[target].outstanding_requests};
+  acct.in_transit_tokens += req.hidden.dim(0);
+  sessions_.session_requests += decision.sessioned ? 1 : 0;
+  sessions_.sticky_hits += decision.sticky_hit ? 1 : 0;
+  return decision;
 }
 
 void EnginePool::finish_hand_off(const RouteDecision& d, long long tokens) {
@@ -90,12 +109,16 @@ void EnginePool::finish_hand_off(const RouteDecision& d, long long tokens) {
 
 void EnginePool::undo_route(const RouteDecision& d, long long tokens) {
   // Caller holds mutex_ (try_submit) — a declined or failed hand-off leaves
-  // no trace in the routing accounting.
+  // no trace in the routing accounting. (A sticky pin created by the
+  // declined pick survives: re-routing the retry to the same replica is
+  // exactly what stickiness means.)
   Routed& acct = routed_[d.target];
   acct.requests -= 1;
   acct.tokens -= tokens;
   acct.in_transit_requests -= 1;
   acct.in_transit_tokens -= tokens;
+  sessions_.session_requests -= d.sessioned ? 1 : 0;
+  sessions_.sticky_hits -= d.sticky_hit ? 1 : 0;
 }
 
 std::future<Response> EnginePool::submit(Request req) {
@@ -194,16 +217,19 @@ long long EnginePool::pending_tokens() const {
 
 EngineStats EnginePool::stats() const {
   EngineStats total;
-  for (const auto& engine : engines_) {
-    const EngineStats s = engine->stats();
-    total.requests += s.requests;
-    total.batches += s.batches;
-    total.micro_batches += s.micro_batches;
-    total.valid_tokens += s.valid_tokens;
-    total.processed_tokens += s.processed_tokens;
-    total.compute_seconds += s.compute_seconds;
-  }
+  for (const auto& engine : engines_) total.merge(engine->stats());
   return total;
+}
+
+EnginePool::SessionRouteStats EnginePool::session_route_stats() const {
+  std::lock_guard lock(mutex_);
+  return sessions_;
+}
+
+std::optional<std::size_t> EnginePool::pinned_replica(
+    std::string_view session) const {
+  std::lock_guard lock(mutex_);
+  return router_->pinned(session);
 }
 
 std::vector<EnginePool::ReplicaStats> EnginePool::replica_stats() const {

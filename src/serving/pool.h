@@ -47,12 +47,20 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "serving/async_engine.h"
 #include "serving/router.h"
 
 namespace bt::serving {
+
+// Session-workspace cache depth EnginePool configures on each replica when
+// the pool routes with RoutePolicy::kStickySession and the caller left
+// EngineOptions::session_workspaces at -1 (auto); an explicit value — 0
+// (off) included — always wins.
+inline constexpr int kStickySessionWorkspaces = 8;
 
 struct EnginePoolOptions {
   AsyncEngineOptions engine;  // applied to every replica
@@ -63,6 +71,10 @@ struct EnginePoolOptions {
   // replicas (min 1) — so replicas split the cores instead of
   // oversubscribing a shared global pool.
   int threads_per_replica = 0;
+  // Registry name stamped into Response::model (with the replica index in
+  // Response::replica). serving::Service sets it to the model's key; empty
+  // marks a bare pool.
+  std::string model_name;
 };
 
 class EnginePool {
@@ -112,6 +124,19 @@ class EnginePool {
   };
   std::vector<ReplicaStats> replica_stats() const;
 
+  // Sticky-session routing accounting: how many accepted requests carried a
+  // session id, and how many of those landed on an already-pinned replica
+  // (always 0 under non-sticky policies, which never pin).
+  struct SessionRouteStats {
+    long long session_requests = 0;
+    long long sticky_hits = 0;
+  };
+  SessionRouteStats session_route_stats() const;
+
+  // The replica `session` is pinned to under RoutePolicy::kStickySession
+  // (std::nullopt for unseen sessions or non-pinning policies).
+  std::optional<std::size_t> pinned_replica(std::string_view session) const;
+
   const core::BertModel& model() const { return engines_.front()->model(); }
   // Read-only view of one replica (observability + the shared-weights
   // identity tests; all replicas' models alias one ModelWeights).
@@ -123,6 +148,8 @@ class EnginePool {
   struct RouteDecision {
     std::size_t target = 0;
     std::size_t seen_outstanding = 0;  // the load the router observed
+    bool sessioned = false;            // request carried a session id
+    bool sticky_hit = false;           // an existing pin decided the target
   };
   // Picks a replica and charges requests/tokens/in-transit to it. The
   // in-transit share covers requests routed here but not yet visible in the
@@ -148,6 +175,7 @@ class EnginePool {
     std::size_t peak_outstanding = 0;
   };
   std::vector<Routed> routed_;
+  SessionRouteStats sessions_;
   bool stop_ = false;
 };
 

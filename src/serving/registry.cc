@@ -1,0 +1,44 @@
+#include "serving/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bt::serving {
+
+ModelRegistry& ModelRegistry::add(std::string name, ModelSpec spec) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelRegistry::add: name must not be empty");
+  }
+  if (spec.model == nullptr) {
+    throw std::invalid_argument("ModelRegistry::add: model must not be null "
+                                "(name \"" + name + "\")");
+  }
+  if (specs_.contains(name)) {
+    throw std::invalid_argument("ModelRegistry::add: duplicate model name \"" +
+                                name + "\"");
+  }
+  order_.push_back(name);
+  specs_.emplace(std::move(name), std::move(spec));
+  return *this;
+}
+
+ModelRegistry& ModelRegistry::add(std::string name,
+                                  std::shared_ptr<const core::BertModel> model,
+                                  EnginePoolOptions pool) {
+  return add(std::move(name), ModelSpec{std::move(model), std::move(pool)});
+}
+
+bool ModelRegistry::contains(std::string_view name) const {
+  return specs_.find(name) != specs_.end();
+}
+
+const ModelSpec& ModelRegistry::spec(std::string_view name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw std::out_of_range("ModelRegistry::spec: unknown model \"" +
+                            std::string(name) + "\"");
+  }
+  return it->second;
+}
+
+}  // namespace bt::serving

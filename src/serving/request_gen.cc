@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
 
 namespace bt::serving {
 
@@ -33,6 +37,65 @@ std::vector<double> gen_arrivals(int count, double requests_per_second,
     x = now;
   }
   return t;
+}
+
+ReplayResult replay_trace(
+    std::span<const double> arrivals, std::vector<Request> requests,
+    const std::function<std::future<Response>(Request)>& submit) {
+  using clock = std::chrono::steady_clock;
+  constexpr auto kPollPeriod = std::chrono::microseconds(200);
+  if (arrivals.size() != requests.size()) {
+    // Enforced in every build: a shorter arrivals span would otherwise be
+    // indexed out of bounds over requests.size() iterations.
+    throw std::invalid_argument(
+        "replay_trace: arrivals and requests must have the same length");
+  }
+  const std::size_t n = requests.size();
+
+  ReplayResult result;
+  result.done_seconds.assign(n, -1.0);
+  result.failed.assign(n, 0);
+
+  std::vector<std::future<Response>> futures(n);
+  std::size_t submitted = 0;
+  std::size_t resolved = 0;
+  const auto start = clock::now();
+  const auto poll = [&] {
+    for (std::size_t i = 0; i < submitted; ++i) {
+      if (result.done_seconds[i] < 0 &&
+          futures[i].wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        result.done_seconds[i] =
+            std::chrono::duration<double>(clock::now() - start).count();
+        ++resolved;
+        try {
+          futures[i].get();
+        } catch (...) {
+          result.failed[i] = 1;  // e.g. DeadlineExceeded on a shed request
+        }
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto due = start + std::chrono::duration_cast<clock::duration>(
+                                 std::chrono::duration<double>(arrivals[i]));
+    while (clock::now() < due) {
+      poll();
+      std::this_thread::sleep_for(
+          std::min<clock::duration>(kPollPeriod, due - clock::now()));
+    }
+    futures[i] = submit(std::move(requests[i]));
+    ++submitted;
+  }
+  while (resolved < n) {
+    poll();
+    if (resolved < n) std::this_thread::sleep_for(kPollPeriod);
+  }
+  for (double d : result.done_seconds) {
+    result.last_done_seconds = std::max(result.last_done_seconds, d);
+  }
+  return result;
 }
 
 }  // namespace bt::serving

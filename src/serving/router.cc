@@ -1,13 +1,31 @@
 #include "serving/router.h"
 
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
 namespace bt::serving {
 
 namespace {
 
+std::size_t least_outstanding_tokens(std::span<const ReplicaLoad> replicas) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    if (replicas[i].outstanding_tokens < replicas[best].outstanding_tokens) {
+      best = i;  // strict < : ties stay on the lowest index
+    }
+  }
+  return best;
+}
+
 class RoundRobinRouter final : public Router {
  public:
   std::size_t pick(std::span<const ReplicaLoad> replicas,
-                   long long /*request_tokens*/) override {
+                   const RouteRequest& /*req*/,
+                   bool* pinned_hit) override {
+    if (pinned_hit != nullptr) *pinned_hit = false;
     const std::size_t target = next_ % replicas.size();
     next_ = (next_ + 1) % replicas.size();
     return target;
@@ -23,12 +41,14 @@ class RoundRobinRouter final : public Router {
 class LeastOutstandingRequestsRouter final : public Router {
  public:
   std::size_t pick(std::span<const ReplicaLoad> replicas,
-                   long long /*request_tokens*/) override {
+                   const RouteRequest& /*req*/,
+                   bool* pinned_hit) override {
+    if (pinned_hit != nullptr) *pinned_hit = false;
     std::size_t best = 0;
     for (std::size_t i = 1; i < replicas.size(); ++i) {
       if (replicas[i].outstanding_requests <
           replicas[best].outstanding_requests) {
-        best = i;  // strict < : ties stay on the lowest index
+        best = i;
       }
     }
     return best;
@@ -41,18 +61,78 @@ class LeastOutstandingRequestsRouter final : public Router {
 class LeastOutstandingTokensRouter final : public Router {
  public:
   std::size_t pick(std::span<const ReplicaLoad> replicas,
-                   long long /*request_tokens*/) override {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < replicas.size(); ++i) {
-      if (replicas[i].outstanding_tokens < replicas[best].outstanding_tokens) {
-        best = i;
-      }
-    }
-    return best;
+                   const RouteRequest& /*req*/,
+                   bool* pinned_hit) override {
+    if (pinned_hit != nullptr) *pinned_hit = false;
+    return least_outstanding_tokens(replicas);
   }
   const char* name() const override {
     return route_policy_name(RoutePolicy::kLeastOutstandingTokens);
   }
+};
+
+// Sessionful routing: the first request of a session picks the replica with
+// the fewest outstanding tokens and pins the session there; follow-ups go
+// to the pin so the replica's per-session workspace is warm. Sessionless
+// requests route least-outstanding-tokens and leave no pin. The pin map is
+// a bounded LRU (kStickyMaxPins): memory tracks recently active sessions,
+// and an evicted (long-idle) session transparently re-pins by load on its
+// next request. Lookups are heterogeneous (string_view keyed) so the hot
+// path allocates only when creating a pin.
+class StickySessionRouter final : public Router {
+ public:
+  std::size_t pick(std::span<const ReplicaLoad> replicas,
+                   const RouteRequest& req, bool* pinned_hit) override {
+    if (pinned_hit != nullptr) *pinned_hit = false;
+    if (!req.session.has_value()) return least_outstanding_tokens(replicas);
+    if (auto it = pins_.find(*req.session); it != pins_.end()) {
+      // A shrunken fleet (not possible through EnginePool today, where the
+      // replica count is fixed at construction) would invalidate the pin;
+      // re-route and re-pin instead of indexing out of range.
+      if (it->second.replica < replicas.size()) {
+        lru_.splice(lru_.end(), lru_, it->second.pos);  // refresh recency
+        if (pinned_hit != nullptr) *pinned_hit = true;
+        return it->second.replica;
+      }
+      lru_.erase(it->second.pos);
+      pins_.erase(it);
+    }
+    const std::size_t target = least_outstanding_tokens(replicas);
+    if (pins_.size() >= kStickyMaxPins) {
+      // Evict the least-recently-routed session; it re-pins if it returns.
+      const auto victim = pins_.find(lru_.front());
+      lru_.pop_front();
+      pins_.erase(victim);
+    }
+    auto [it, inserted] =
+        pins_.emplace(std::string(*req.session), Pin{target, {}});
+    it->second.pos = lru_.insert(lru_.end(), it->first);
+    return target;
+  }
+  const char* name() const override {
+    return route_policy_name(RoutePolicy::kStickySession);
+  }
+  std::optional<std::size_t> pinned(std::string_view session) const override {
+    if (auto it = pins_.find(session); it != pins_.end()) {
+      return it->second.replica;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Pin {
+    std::size_t replica;
+    std::list<std::string_view>::iterator pos;  // position in lru_
+  };
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  // Keys are node-stable, so the LRU list can view them without copies.
+  std::unordered_map<std::string, Pin, StringHash, std::equal_to<>> pins_;
+  std::list<std::string_view> lru_;  // front = least recently routed
 };
 
 }  // namespace
@@ -65,6 +145,9 @@ std::optional<RoutePolicy> parse_route_policy(std::string_view name) {
   if (name == "lot" || name == "least-outstanding-tokens" || name == "jsq") {
     return RoutePolicy::kLeastOutstandingTokens;
   }
+  if (name == "sticky" || name == "sticky-session") {
+    return RoutePolicy::kStickySession;
+  }
   return std::nullopt;
 }
 
@@ -76,6 +159,8 @@ std::unique_ptr<Router> make_router(RoutePolicy policy) {
       return std::make_unique<LeastOutstandingRequestsRouter>();
     case RoutePolicy::kLeastOutstandingTokens:
       return std::make_unique<LeastOutstandingTokensRouter>();
+    case RoutePolicy::kStickySession:
+      return std::make_unique<StickySessionRouter>();
   }
   return std::make_unique<RoundRobinRouter>();  // unreachable
 }

@@ -1,0 +1,148 @@
+#include "serving/service.h"
+
+#include <utility>
+
+namespace bt::serving {
+
+namespace {
+
+std::future<Response> resolved_error_future(std::exception_ptr error) {
+  std::promise<Response> promise;
+  promise.set_exception(std::move(error));
+  return promise.get_future();
+}
+
+}  // namespace
+
+Service::Service(ModelRegistry registry, ServiceOptions opts)
+    : registry_(std::move(registry)) {
+  if (registry_.empty()) {
+    throw std::invalid_argument(
+        "Service: registry must contain at least one model");
+  }
+  default_model_ =
+      opts.default_model.empty() ? registry_.names().front() : opts.default_model;
+  if (!registry_.contains(default_model_)) {
+    throw std::invalid_argument("Service: default_model \"" + default_model_ +
+                                "\" is not a registered model");
+  }
+  pools_.reserve(registry_.size());
+  for (const std::string& name : registry_.names()) {
+    const ModelSpec& spec = registry_.spec(name);
+    EnginePoolOptions pool_opts = spec.pool;
+    // Response::model must report the registry key the request resolved to,
+    // whatever label (usually none) the spec carried.
+    pool_opts.model_name = name;
+    index_.emplace(name, pools_.size());
+    pools_.push_back(std::make_unique<EnginePool>(spec.model, pool_opts));
+  }
+}
+
+Service::~Service() { stop(); }
+
+std::future<Response> Service::submit(Request req) {
+  // Reference, not copy: the common sessionless/default-model submit must
+  // not allocate on the dispatch path.
+  const std::string& name =
+      req.model.has_value() ? *req.model : default_model_;
+  EnginePool* pool = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("Service::submit: service is stopped");
+    }
+    // Model-independent programming errors (malformed tensor, duplicate id)
+    // throw on the caller thread even when the model name is unknown —
+    // otherwise a typo in the name would mask the real bug as a routing
+    // error. Only the hidden-width check must wait for model resolution.
+    validate_request_shape("Service::submit", req.hidden, /*hidden_dim=*/-1);
+    validate_request_id("Service::submit", req.id, ids_);
+    const auto it = index_.find(name);
+    if (it == index_.end()) {
+      // Routing error, not a programming error: resolve the future the
+      // caller already awaits instead of throwing, and burn no request id
+      // (the request never entered any pool).
+      return resolved_error_future(std::make_exception_ptr(UnknownModelError(
+          "Service::submit: unknown model \"" + name + "\"")));
+    }
+    pool = pools_[it->second].get();
+    // The resolved model defines the hidden width — the one check that had
+    // to wait. The id was validated above under this same lock hold, so
+    // reserve directly (no second tracker lookup): service-wide ids mean
+    // the same caller-supplied id is rejected even across different
+    // models, and the pool sees an id its own tracker cannot collide on.
+    validate_request_shape("Service::submit", req.hidden, pool->hidden());
+    req.id = ids_.reserve(req.id);
+  }
+  // Hand off outside the service lock: one model's full replica queue must
+  // not stall dispatch (or id assignment) for every other model.
+  return pool->submit(std::move(req));
+}
+
+std::future<Response> Service::submit(Tensor<fp16_t> hidden) {
+  Request req;
+  req.hidden = std::move(hidden);
+  return submit(std::move(req));
+}
+
+void Service::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  // Outside the service lock: each pool's stop() drains its replicas, and
+  // observers (pending/stats) must stay callable meanwhile.
+  for (auto& pool : pools_) pool->stop();
+}
+
+bool Service::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stop_;
+}
+
+const EnginePool& Service::pool_at(std::string_view model) const {
+  const auto it = index_.find(model);
+  if (it == index_.end()) {
+    throw std::out_of_range("Service: unknown model \"" + std::string(model) +
+                            "\"");
+  }
+  return *pools_[it->second];
+}
+
+EngineStats Service::stats() const {
+  EngineStats total;
+  for (const auto& pool : pools_) total.merge(pool->stats());
+  return total;
+}
+
+EngineStats Service::stats(std::string_view model) const {
+  return pool_at(model).stats();
+}
+
+const EnginePool& Service::pool(std::string_view model) const {
+  return pool_at(model);
+}
+
+EnginePool::SessionRouteStats Service::session_route_stats() const {
+  EnginePool::SessionRouteStats total;
+  for (const auto& pool : pools_) {
+    const auto s = pool->session_route_stats();
+    total.session_requests += s.session_requests;
+    total.sticky_hits += s.sticky_hits;
+  }
+  return total;
+}
+
+std::size_t Service::pending() const {
+  std::size_t total = 0;
+  for (const auto& pool : pools_) total += pool->pending();
+  return total;
+}
+
+long long Service::pending_tokens() const {
+  long long total = 0;
+  for (const auto& pool : pools_) total += pool->pending_tokens();
+  return total;
+}
+
+}  // namespace bt::serving

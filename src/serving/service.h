@@ -1,0 +1,131 @@
+// Multi-model, session-aware serving front-end — the top of the serving
+// API.
+//
+// One EnginePool serves one model. Service is the tier above: a
+// ModelRegistry (registry.h) names the fleet, Service builds one EnginePool
+// replica group per registered model, and submit() dispatches each request
+// by its Request::model key (std::nullopt = the default model). Sessions
+// ride along: under RoutePolicy::kStickySession a model's router pins each
+// Request::session to the replica that served its first request, and that
+// replica's per-session workspace (EngineOptions::session_workspaces) makes
+// the follow-up allocation-free.
+//
+//   serving::ModelRegistry registry;
+//   registry.add("bert-base", base_model, pool_opts);
+//   registry.add("bert-large", large_model, large_pool_opts);
+//   serving::Service service(std::move(registry));
+//
+//   serving::Request req;
+//   req.hidden = std::move(hidden);
+//   req.model = "bert-large";        // nullopt -> default model
+//   req.session = "conv-42";        // sticky routing + warm workspace
+//   auto fut = service.submit(std::move(req));
+//   serving::Response r = fut.get(); // r.model / r.replica / r.session
+//   service.stop();                  // drains every model's pool
+//
+// Error contract
+//   * Malformed tensors and duplicate request ids are programming errors:
+//     submit() throws std::invalid_argument on the caller thread, exactly
+//     like the tiers below — even when the request also names an unknown
+//     model (the model-independent checks run first; only the hidden-width
+//     check needs the resolved model, so a wrong-width tensor aimed at an
+//     unknown model reports the unknown model). Ids are service-wide — the
+//     same id cannot be reused across different models.
+//   * An unknown model name is a routing error, not a programming error: it
+//     travels the async path the caller already handles — submit() returns
+//     a future already resolved with UnknownModelError (never a throw on a
+//     scheduler thread, never a burned request id).
+//   * submit() after stop() throws std::runtime_error.
+//
+// Single-model equivalence
+//   A Service with one registered model adds a name lookup and a
+//   service-level id, nothing else: per-request outputs are bitwise
+//   identical to the same traffic on a bare EnginePool for every
+//   BatchPolicy (tests/test_service.cc pins this under concurrent
+//   submitters).
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/pool.h"
+#include "serving/registry.h"
+
+namespace bt::serving {
+
+// submit() resolved the request's model name against the registry and found
+// nothing. Delivered through the returned future, not thrown.
+class UnknownModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ServiceOptions {
+  // The model serving requests without Request::model. Empty = the first
+  // registered name. Must name a registered model otherwise.
+  std::string default_model;
+};
+
+class Service {
+ public:
+  // Builds one EnginePool per registered model (each pool's model_name is
+  // set to its registry key). Throws std::invalid_argument on an empty
+  // registry or a default_model that is not registered; per-pool option
+  // validation surfaces from the EnginePool constructors.
+  explicit Service(ModelRegistry registry, ServiceOptions opts = {});
+  ~Service();  // stop()
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Dispatches the request to its model's replica group and returns the
+  // future its Response resolves on (see the error contract above). Blocks
+  // while the chosen replica's queue is full.
+  std::future<Response> submit(Request req);
+  std::future<Response> submit(Tensor<fp16_t> hidden);
+
+  // Stops every model's pool in registration order (each drains: all
+  // accepted futures resolve). Idempotent.
+  void stop();
+  bool stopped() const;
+
+  const std::vector<std::string>& models() const { return registry_.names(); }
+  const std::string& default_model() const { return default_model_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  // Fleet-wide accounting, and the per-model / per-pool views (throws
+  // std::out_of_range for unknown names — observability callers pass
+  // trusted names).
+  EngineStats stats() const;
+  EngineStats stats(std::string_view model) const;
+  const EnginePool& pool(std::string_view model) const;
+  EnginePool::SessionRouteStats session_route_stats() const;
+
+  std::size_t pending() const;       // across every model's pool
+  long long pending_tokens() const;
+
+ private:
+  const EnginePool& pool_at(std::string_view model) const;
+
+  ModelRegistry registry_;
+  std::string default_model_;
+  std::vector<std::unique_ptr<EnginePool>> pools_;  // registry-name order
+  // name -> pools_ slot (transparent hash: string_view lookups allocate
+  // nothing on the submit path)
+  std::unordered_map<std::string, std::size_t, StringKeyHash, std::equal_to<>>
+      index_;
+
+  mutable std::mutex mutex_;  // service-wide id tracker + stop flag
+  RequestIdTracker ids_;
+  bool stop_ = false;
+};
+
+}  // namespace bt::serving

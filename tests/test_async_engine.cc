@@ -393,6 +393,73 @@ TEST(AsyncEngine, NearDeadlineClosesBatchingWindowEarly) {
   engine.stop();
 }
 
+// ---- deadline shedding ------------------------------------------------------
+
+// A request whose deadline passed before its round starts computing is shed:
+// its future fails with the distinct DeadlineExceeded error, no compute is
+// spent on it, and the shed / met / missed split is observable in stats().
+TEST(AsyncEngine, ShedsRequestsWhoseDeadlinePassedBeforeCompute) {
+  auto opts = async_options(all_policies()[2], /*max_batch_requests=*/8,
+                            /*max_wait=*/0.0);
+  AsyncEngine engine(shared_model(), opts);
+  const std::int64_t h = engine.hidden();
+  Rng rng(31);
+
+  // Expired on arrival.
+  auto dead = engine.submit(Request{
+      -1, Tensor<fp16_t>::random_normal({5, h}, rng), deadline_in(-0.001)});
+  EXPECT_THROW(dead.get(), DeadlineExceeded);
+
+  // Plenty of slack: computes and resolves inside its deadline.
+  auto alive = engine.submit(Request{
+      -1, Tensor<fp16_t>::random_normal({5, h}, rng), deadline_in(600.0)});
+  EXPECT_EQ(alive.get().output.dim(0), 5);
+  engine.stop();
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.deadline_shed, 1);
+  EXPECT_EQ(st.deadline_met, 1);
+  EXPECT_EQ(st.deadline_missed, 0);
+  // The shed request never reached the inner engine: no compute, no request
+  // accounting beyond the shed counter.
+  EXPECT_EQ(st.requests, 1);
+}
+
+// deadline_missed: the deadline passes while the request computes. Self-
+// calibrating — grow the sequence until one forward takes >= 40 ms on this
+// host/build, then give an identical request a quarter of that as slack:
+// far above the idle engine's wake-up latency (so the round starts before
+// the deadline and the request is not shed) and far below its own compute
+// time (so it cannot resolve in time).
+TEST(AsyncEngine, DeadlinePassingDuringComputeCountsAsMissed) {
+  auto opts = async_options(all_policies()[2], /*max_batch_requests=*/1,
+                            /*max_wait=*/0.0);
+  AsyncEngine engine(shared_model(), opts);
+  const std::int64_t h = engine.hidden();
+  Rng rng(32);
+
+  int len = 1024;
+  double compute = 0;
+  for (;; len *= 2) {
+    auto r =
+        engine.submit(Tensor<fp16_t>::random_normal({len, h}, rng)).get();
+    compute = r.compute_seconds;
+    if (compute >= 0.04 || len >= 8192) break;
+  }
+  ASSERT_GE(compute, 0.04) << "calibration could not reach 40 ms at len "
+                           << len;
+
+  auto fut = engine.submit(Request{
+      -1, Tensor<fp16_t>::random_normal({len, h}, rng),
+      deadline_in(compute * 0.25)});
+  EXPECT_EQ(fut.get().output.dim(0), len);  // computed and delivered, late
+  engine.stop();
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.deadline_missed, 1);
+  EXPECT_EQ(st.deadline_met, 0);
+  EXPECT_EQ(st.deadline_shed, 0);
+}
+
 TEST(AsyncEngine, PendingTokensTracksOutstandingRows) {
   auto opts = async_options(all_policies()[2], /*max_batch_requests=*/8,
                             /*max_wait=*/30.0);

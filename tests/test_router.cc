@@ -53,16 +53,61 @@ TEST(Router, LeastOutstandingTokensPicksMinWithLowestIndexTie) {
 TEST(Router, SingleReplicaAlwaysPicksZero) {
   for (RoutePolicy p :
        {RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstandingRequests,
-        RoutePolicy::kLeastOutstandingTokens}) {
+        RoutePolicy::kLeastOutstandingTokens, RoutePolicy::kStickySession}) {
     auto router = make_router(p);
     EXPECT_EQ(router->pick(loads({{7, 700}}), 3), 0u) << route_policy_name(p);
   }
 }
 
+// ---- sticky sessions --------------------------------------------------------
+
+TEST(Router, StickySessionPinsFirstPickAndFollowsItThereafter) {
+  auto router = make_router(RoutePolicy::kStickySession);
+  // A fresh session routes least-outstanding-tokens (replica 1) and pins.
+  EXPECT_EQ(router->pick(loads({{1, 100}, {0, 10}}), {5, "alice"}), 1u);
+  EXPECT_EQ(router->pinned("alice"), 1u);
+  // Follow-ups go to the pin even when the loads now favour replica 0.
+  EXPECT_EQ(router->pick(loads({{0, 0}, {9, 9000}}), {5, "alice"}), 1u);
+  EXPECT_EQ(router->pick(loads({{0, 0}, {9, 9000}}), {1, "alice"}), 1u);
+  // A different session pins independently, by the current loads.
+  EXPECT_EQ(router->pick(loads({{0, 0}, {9, 9000}}), {5, "bob"}), 0u);
+  EXPECT_EQ(router->pinned("bob"), 0u);
+  EXPECT_EQ(router->pinned("alice"), 1u);
+}
+
+TEST(Router, StickySessionlessRequestsFallBackToTokensAndNeverPin) {
+  auto router = make_router(RoutePolicy::kStickySession);
+  EXPECT_EQ(router->pick(loads({{0, 500}, {3, 20}}), 5), 1u);
+  EXPECT_EQ(router->pick(loads({{0, 10}, {3, 20}}), 5), 0u);
+  // Load-based policies (and sessionless sticky picks) expose no pins.
+  EXPECT_FALSE(router->pinned("").has_value());
+  auto lot = make_router(RoutePolicy::kLeastOutstandingTokens);
+  EXPECT_FALSE(lot->pinned("alice").has_value());
+}
+
+// The pin map must not grow with every session ever seen: beyond
+// kStickyMaxPins the least-recently-routed session is evicted (and simply
+// re-pins by load if it ever returns).
+TEST(Router, StickyPinsAreBoundedWithLruEviction) {
+  auto router = make_router(RoutePolicy::kStickySession);
+  const auto l = loads({{0, 0}, {0, 1}});
+  router->pick(l, {1, "first"});
+  router->pick(l, {1, "second"});
+  for (std::size_t i = 2; i < kStickyMaxPins; ++i) {
+    router->pick(l, {1, "s" + std::to_string(i)});
+  }
+  ASSERT_TRUE(router->pinned("first").has_value());   // map exactly full
+  router->pick(l, {1, "first"});     // refresh: "second" is now the LRU
+  router->pick(l, {1, "overflow"});  // one past capacity: evicts "second"
+  EXPECT_TRUE(router->pinned("first").has_value());
+  EXPECT_FALSE(router->pinned("second").has_value());
+  EXPECT_TRUE(router->pinned("overflow").has_value());
+}
+
 TEST(Router, NameAndParseRoundTrip) {
   for (RoutePolicy p :
        {RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstandingRequests,
-        RoutePolicy::kLeastOutstandingTokens}) {
+        RoutePolicy::kLeastOutstandingTokens, RoutePolicy::kStickySession}) {
     EXPECT_EQ(parse_route_policy(route_policy_name(p)), p);
     EXPECT_STREQ(make_router(p)->name(), route_policy_name(p));
   }
@@ -71,6 +116,7 @@ TEST(Router, NameAndParseRoundTrip) {
             RoutePolicy::kLeastOutstandingRequests);
   EXPECT_EQ(parse_route_policy("least-outstanding-tokens"),
             RoutePolicy::kLeastOutstandingTokens);
+  EXPECT_EQ(parse_route_policy("sticky-session"), RoutePolicy::kStickySession);
   EXPECT_FALSE(parse_route_policy("random").has_value());
   EXPECT_FALSE(parse_route_policy("").has_value());
 }
