@@ -1,0 +1,138 @@
+// Wire overhead of the socket front-end: the same saturating Poisson trace
+// replayed twice against one-replica serving stacks — once through direct
+// in-process Service::submit futures, once through net::Server over
+// loopback TCP (4 client connections, frame encode/decode, the completion
+// pump, and two socket hops in the path). The difference between the two
+// rows is the full cost of the network tier; with ms-scale inference it
+// should be small against p50. bench/run_perf.sh merges the JSON into
+// BENCH_serving_wire.json; the perf-smoke CI job uploads it.
+//
+// Reported counters:
+//   req_s   — completed requests per second of wall time
+//   p50_ms  — median end-to-end latency (arrival -> future resolved)
+//   p99_ms  — tail latency
+//   wire    — 0: in-process futures, 1: loopback sockets
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serving/service.h"
+
+namespace bt::bench {
+namespace {
+
+constexpr int kWireRequests = 64;
+constexpr int kWireMaxSeq = 128;
+constexpr int kWireBatchCap = 8;
+constexpr double kWireRps = 4000.0;  // saturating, as in BM_ServingPool
+constexpr int kWireConns = 4;
+
+std::shared_ptr<const core::BertModel> wire_model() {
+  static std::shared_ptr<const core::BertModel> model = [] {
+    Rng rng(kSeed + 17);
+    return std::make_shared<const core::BertModel>(core::BertModel::random(
+        core::BertConfig::bert_base().scaled(2, 2), rng));
+  }();
+  return model;
+}
+
+struct WireTrace {
+  std::vector<double> arrivals;
+  std::vector<serving::Request> requests;
+
+  static WireTrace get() {
+    static const WireTrace master = [] {
+      WireTrace t;
+      Rng rng(kSeed + 18);
+      const auto lens =
+          serving::gen_lengths(kWireRequests, kWireMaxSeq, kAlpha, rng);
+      const std::int64_t h = wire_model()->config().hidden();
+      for (int len : lens) {
+        serving::Request req;
+        req.hidden = Tensor<fp16_t>::random_normal({len, h}, rng);
+        t.requests.push_back(std::move(req));
+      }
+      t.arrivals = serving::gen_arrivals(kWireRequests, kWireRps, rng);
+      return t;
+    }();
+    WireTrace replay;
+    replay.arrivals = master.arrivals;
+    for (const serving::Request& req : master.requests) {
+      serving::Request copy;
+      copy.hidden = req.hidden.clone();
+      replay.requests.push_back(std::move(copy));
+    }
+    return replay;
+  }
+};
+
+serving::Service make_service() {
+  serving::EnginePoolOptions opts;
+  opts.engine.engine.flags = core::OptFlags::byte_transformer();
+  opts.engine.engine.policy = serving::BatchPolicy::kPacked;
+  opts.engine.engine.max_batch_requests = kWireBatchCap;
+  opts.engine.max_wait_seconds = 0.002;
+  opts.replicas = 1;
+  serving::ModelRegistry registry;
+  registry.add("bert-a", wire_model(), opts);
+  return serving::Service(std::move(registry));
+}
+
+void BM_ServingWire(benchmark::State& state) {
+  const bool over_wire = state.range(0) != 0;
+  std::vector<double> latency_ms;
+  double serve_seconds = 0;
+  long long served = 0;
+
+  for (auto _ : state) {
+    WireTrace trace = WireTrace::get();
+    serving::Service service = make_service();
+    std::unique_ptr<net::Server> server;
+    std::vector<std::unique_ptr<net::Client>> clients;
+    if (over_wire) {
+      server = std::make_unique<net::Server>(service);
+      server->start();
+      for (int c = 0; c < kWireConns; ++c) {
+        clients.push_back(std::make_unique<net::Client>(server->port()));
+      }
+    }
+    std::size_t next_conn = 0;
+    const serving::ReplayResult replay = serving::replay_trace(
+        trace.arrivals, std::move(trace.requests),
+        [&](serving::Request req) {
+          if (!over_wire) return service.submit(std::move(req));
+          net::WireRequest w;
+          w.hidden = std::move(req.hidden);
+          return clients[next_conn++ % clients.size()]->submit_serving(
+              std::move(w));
+        });
+    for (std::size_t i = 0; i < replay.done_seconds.size(); ++i) {
+      latency_ms.push_back((replay.done_seconds[i] - trace.arrivals[i]) * 1e3);
+    }
+    serve_seconds += replay.last_done_seconds;
+    served += kWireRequests;
+    clients.clear();
+    if (server != nullptr) server->stop();
+    service.stop();
+  }
+
+  state.counters["req_s"] = static_cast<double>(served) / serve_seconds;
+  state.counters["p50_ms"] = stats::percentile(latency_ms, 0.5);
+  state.counters["p99_ms"] = stats::percentile(latency_ms, 0.99);
+  state.counters["wire"] = over_wire ? 1 : 0;
+  state.SetItemsProcessed(state.iterations() * kWireRequests);
+  set_kernel_label(state);
+}
+
+BENCHMARK(BM_ServingWire)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace bt::bench

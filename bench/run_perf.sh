@@ -12,6 +12,9 @@
 #                        scenario (BM_ServingService): req/s, p50/p99, and
 #                        the session sticky-hit rate at 1/2 replicas per
 #                        model
+#   BENCH_serving_wire.json — socket front-end overhead (BM_ServingWire):
+#                        the same trace via in-process futures (wire=0) vs
+#                        loopback TCP through net::Server (wire=1)
 #
 # Usage:  bench/run_perf.sh [build_dir] [out_dir]
 #   build_dir  cmake build tree holding the bench binaries  (default: build)
@@ -73,6 +76,13 @@ echo "== bench_serving_pool (BM_ServingService)" >&2
 "$BUILD/bench_serving_pool" --benchmark_format=json \
     --benchmark_filter='BM_ServingService' > "$TMP/multimodel_default.json"
 
+# Serving wire: loopback-socket front-end vs in-process submission.
+if [[ -x "$BUILD/bench_serving_wire" ]]; then
+  echo "== bench_serving_wire" >&2
+  "$BUILD/bench_serving_wire" --benchmark_format=json \
+      --benchmark_filter='BM_ServingWire' > "$TMP/wire_default.json"
+fi
+
 python3 - "$TMP" "$OUT" "${BT_PERF_BASELINE:-}" <<'PY'
 import json, sys, os
 
@@ -98,7 +108,7 @@ def records(path, requested):
         }
         for key in ("gflops", "tokens_s", "alpha", "pad_waste",
                     "req_s", "p50_ms", "p99_ms", "replicas", "models",
-                    "session_hit"):
+                    "session_hit", "wire"):
             if key in b:
                 rec[key] = b[key]
         yield ctx, rec
@@ -144,4 +154,6 @@ merge("fig15", "BENCH_fig15.json", extra)
 # still records which microkernel actually served the GEMMs).
 merge("serving", "BENCH_serving.json", kernels=("default",))
 merge("multimodel", "BENCH_serving_multimodel.json", kernels=("default",))
+if os.path.exists(os.path.join(tmp, "wire_default.json")):
+    merge("wire", "BENCH_serving_wire.json", kernels=("default",))
 PY

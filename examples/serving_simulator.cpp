@@ -22,9 +22,23 @@
 // sticky-session hit rate plus workspace reuse, and — with more than one
 // replica — the per-model, per-replica routing/utilization breakdown.
 //
+// With `--wire` the same trace is driven over real loopback sockets: a
+// net::Server fronts the service, `--wire-conns` client connections carry
+// the requests through the length-prefixed wire protocol, and deadlines
+// travel as the frame's deadline_ms field — so the report measures the
+// full socket -> decode -> submit -> encode -> socket path instead of an
+// in-process future.
+//
+// SIGINT/SIGTERM interrupt the replay gracefully: submission stops, every
+// in-flight request drains, and the final report covers exactly the
+// traffic that ran.
+//
 // Usage: serving_simulator [--replicas N] [--route rr|lor|lot|sticky]
 //                          [--requests N] [--rps X] [--models N]
 //                          [--sessions N] [--sticky] [--slo-ms X]
+//                          [--wire] [--wire-conns N]
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +49,8 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/model.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serving/request_gen.h"
 #include "serving/service.h"
 #include "tensor/tensor.h"
@@ -58,16 +74,25 @@ struct Args {
   int models = 1;
   int sessions = 0;   // 0 = stateless traffic
   double slo_ms = 0;  // 0 = no deadlines
+  bool wire = false;  // drive the trace over loopback sockets
+  int wire_conns = 4;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--replicas N] [--route rr|lor|lot|sticky] "
                "[--requests N] [--rps X]\n"
-               "          [--models N] [--sessions N] [--sticky] [--slo-ms X]\n",
+               "          [--models N] [--sessions N] [--sticky] [--slo-ms X]\n"
+               "          [--wire] [--wire-conns N]\n",
                argv0);
   std::exit(2);
 }
+
+// Set from the signal handler, polled by replay_trace: an interrupted run
+// stops submitting, drains in-flight requests, and still prints its report.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_signal(int) { g_interrupted.store(true); }
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -75,6 +100,10 @@ Args parse_args(int argc, char** argv) {
     const char* flag = argv[i];
     if (std::strcmp(flag, "--sticky") == 0) {  // value-less convenience alias
       args.route = serving::RoutePolicy::kStickySession;
+      continue;
+    }
+    if (std::strcmp(flag, "--wire") == 0) {  // value-less
+      args.wire = true;
       continue;
     }
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -101,6 +130,9 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(flag, "--slo-ms") == 0) {
       args.slo_ms = std::atof(value);
       if (args.slo_ms < 0) usage(argv[0]);
+    } else if (std::strcmp(flag, "--wire-conns") == 0) {
+      args.wire_conns = std::atoi(value);
+      if (args.wire_conns < 1) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -113,6 +145,8 @@ Args parse_args(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
   const core::BertConfig cfg = core::BertConfig::bert_base().scaled(2, 2);
   Rng rng(77);
 
@@ -157,9 +191,15 @@ int main(int argc, char** argv) {
       "serving %d requests at %.0f rps, max_seq %d, batch cap %d, alpha 0.6\n"
       "service: %d model(s) x %d replica(s), route=%s, %d session(s), "
       "slo %.1f ms,\n"
-      "shared weights per model, 2 ms batching window, Poisson arrivals\n\n",
+      "shared weights per model, 2 ms batching window, Poisson arrivals\n",
       num_requests, args.rps, max_seq, batch_size, args.models, args.replicas,
       serving::route_policy_name(args.route), args.sessions, args.slo_ms);
+  if (args.wire) {
+    std::printf("wire: loopback TCP via net::Server, %d client connection(s), "
+                "frame protocol v%d\n",
+                args.wire_conns, net::kWireVersion);
+  }
+  std::printf("\n");
   // tok/ms(fwd) is compute-side throughput (valid tokens per forward-pass
   // millisecond): with real-time replay, total wall time is dominated by
   // the fixed arrival trace and would look identical across policies.
@@ -207,26 +247,62 @@ int main(int argc, char** argv) {
       requests.push_back(std::move(req));
     }
 
+    // With --wire the identical trace runs through real sockets: server in
+    // front of the service, a small pool of client connections, requests
+    // round-robined across them, deadlines carried as wire-relative ms.
+    std::unique_ptr<net::Server> server;
+    std::vector<std::unique_ptr<net::Client>> clients;
+    if (args.wire) {
+      server = std::make_unique<net::Server>(service);
+      server->start();
+      for (int c = 0; c < args.wire_conns; ++c) {
+        clients.push_back(std::make_unique<net::Client>(server->port()));
+      }
+    }
+    std::size_t next_conn = 0;
+    const auto submit = [&](serving::Request req) {
+      if (args.wire) {
+        net::WireRequest w;
+        w.model = req.model.value_or("");
+        w.session = req.session.value_or("");
+        if (args.slo_ms > 0) {
+          w.deadline_ms = static_cast<std::uint32_t>(args.slo_ms);
+        }
+        w.hidden = std::move(req.hidden);
+        return clients[next_conn++ % clients.size()]->submit_serving(
+            std::move(w));
+      }
+      if (args.slo_ms > 0) {
+        req.deadline = serving::deadline_in(args.slo_ms * 1e-3);
+      }
+      return service.submit(std::move(req));
+    };
+
     const serving::ReplayResult replay = serving::replay_trace(
-        arrivals, std::move(requests), [&](serving::Request req) {
-          if (args.slo_ms > 0) {
-            req.deadline = serving::deadline_in(args.slo_ms * 1e-3);
-          }
-          return service.submit(std::move(req));
-        });
+        arrivals, std::move(requests), submit, &g_interrupted);
     // Latency percentiles cover served requests only: a shed request's
     // future resolves almost immediately with DeadlineExceeded, and folding
     // those near-zero times in would make deadline pressure look like a
-    // latency win.
+    // latency win. On an interrupted run, unsubmitted entries (stamp -1)
+    // are skipped the same way.
     std::vector<double> latency;
     latency.reserve(static_cast<std::size_t>(num_requests));
     for (std::size_t i = 0; i < replay.done_seconds.size(); ++i) {
-      if (!replay.failed[i]) {
+      if (replay.done_seconds[i] >= 0 && !replay.failed[i]) {
         latency.push_back((replay.done_seconds[i] - arrivals[i]) * 1e3);
       }
     }
     const double total_ms = replay.last_done_seconds * 1e3;
+    // Teardown order matters: clients first (so the server sees clean
+    // EOFs), then the socket front-end, then the compute tier it fronts.
+    clients.clear();
+    if (server != nullptr) server->stop();
     service.stop();
+    if (g_interrupted.load()) {
+      std::printf("interrupted: submitted %zu/%d requests; draining done, "
+                  "report covers the traffic that ran\n",
+                  replay.submitted, num_requests);
+    }
 
     const auto st = service.stats();
     std::printf("%-26s %10.1f %10.2f %10.2f %12.1f %9.0f%%\n", pol.name,
@@ -278,6 +354,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (g_interrupted.load()) return 130;  // stopped by signal; report printed
   }
 
   std::printf(

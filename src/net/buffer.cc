@@ -1,0 +1,75 @@
+#include "net/buffer.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace bt::net {
+
+namespace {
+constexpr std::size_t kMinCapacity = 256;
+}  // namespace
+
+void Buffer::consume(std::size_t n) {
+  assert(n <= size());
+  head_ += n;
+  if (head_ == end_) head_ = end_ = 0;  // empty: reset to the true start
+}
+
+void Buffer::grow_to(std::size_t cap) {
+  std::size_t next = capacity_ > 0 ? capacity_ : kMinCapacity;
+  while (next < cap) next *= 2;
+  auto grown = std::make_unique<std::byte[]>(next);
+  if (size() > 0) std::memcpy(grown.get(), data(), size());
+  end_ -= head_;
+  head_ = 0;
+  storage_ = std::move(grown);
+  capacity_ = next;
+}
+
+std::byte* Buffer::reserve(std::size_t n) {
+  if (writable() < n) {
+    if (capacity_ - size() >= n) {
+      // Enough total room once the consumed prefix is reclaimed: compact
+      // instead of growing (the steady-state path of a draining
+      // connection).
+      std::memmove(storage_.get(), data(), size());
+      end_ -= head_;
+      head_ = 0;
+    } else {
+      grow_to(size() + n);
+    }
+  }
+  return storage_.get() + end_;
+}
+
+void Buffer::commit(std::size_t n) {
+  assert(n <= writable());
+  end_ += n;
+}
+
+void Buffer::append(const void* src, std::size_t n) {
+  if (n == 0) return;
+  std::memcpy(reserve(n), src, n);
+  commit(n);
+}
+
+void Buffer::append_u16(std::uint16_t v) {
+  std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                       static_cast<std::uint8_t>(v >> 8)};
+  append(b, sizeof b);
+}
+
+void Buffer::append_u32(std::uint32_t v) {
+  std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  append(b, sizeof b);
+}
+
+void Buffer::append_u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  append(b, sizeof b);
+}
+
+}  // namespace bt::net

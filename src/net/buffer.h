@@ -1,0 +1,87 @@
+// Growable byte buffer — the storage unit of the wire front-end.
+//
+// One Buffer backs each side of a connection: the read side appends
+// whatever recv() produced and the frame decoder consumes whole frames off
+// the front; the write side queues encoded response frames and the event
+// loop consumes whatever send() managed to flush. Both sides want the same
+// two operations to be cheap:
+//
+//   * reserve(n)/commit(k) — expose >= n writable bytes at the tail, then
+//     commit the k that were actually produced. This is how recv() reads
+//     straight into the decoder's storage: no intermediate stack buffer,
+//     no copy between "socket bytes" and "decoder bytes". (The datakit
+//     flex/fibbuf idiom: grow-by-doubling storage with an explicit
+//     reserve-and-commit write path.)
+//   * consume(n) — drop n bytes off the front without moving the rest.
+//
+// Layout is a single contiguous allocation with a moving read offset
+// ("ring-ish"): consume() only advances the offset, and the dead prefix is
+// reclaimed by memmove-compaction the next time reserve() needs room — so
+// a steady-state connection that drains as fast as it fills never
+// reallocates, and readers always see their unread bytes contiguously
+// (which is what lets the decoder hand out zero-copy views into frames).
+//
+// Not thread-safe; each connection's buffers are owned by the event loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace bt::net {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t initial_capacity) { grow_to(initial_capacity); }
+
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  // Readable region: size() bytes starting at data().
+  const std::byte* data() const noexcept { return storage_.get() + head_; }
+  std::size_t size() const noexcept { return end_ - head_; }
+  bool empty() const noexcept { return head_ == end_; }
+
+  // Drops n readable bytes off the front (n <= size()).
+  void consume(std::size_t n);
+
+  // Drops everything (capacity is retained).
+  void clear() noexcept { head_ = end_ = 0; }
+
+  // Exposes at least n writable bytes at the tail and returns a pointer to
+  // them; nothing becomes readable until commit(). Compacts or grows as
+  // needed, so the returned pointer (and data()) may move.
+  std::byte* reserve(std::size_t n);
+
+  // Makes the first n reserved bytes readable (n <= writable()).
+  void commit(std::size_t n);
+
+  // Writable bytes currently available at the tail without another
+  // reserve() call.
+  std::size_t writable() const noexcept { return capacity_ - end_; }
+
+  // reserve + memcpy + commit in one step.
+  void append(const void* src, std::size_t n);
+  void append_u8(std::uint8_t v) { append(&v, 1); }
+
+  // Little-endian fixed-width appends — the wire protocol's integer
+  // encoding (x86 hosts pay a memcpy the compiler folds to a store).
+  void append_u16(std::uint16_t v);
+  void append_u32(std::uint32_t v);
+  void append_u64(std::uint64_t v);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  void grow_to(std::size_t cap);
+
+  std::unique_ptr<std::byte[]> storage_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  // first readable byte
+  std::size_t end_ = 0;   // one past the last readable byte
+};
+
+}  // namespace bt::net

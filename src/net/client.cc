@@ -1,0 +1,208 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace bt::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("net::Client: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(std::uint16_t port, std::size_t max_frame_bytes)
+    : decoder_(max_frame_bytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("connect");
+  }
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+Client::~Client() { close(); }
+
+std::uint64_t Client::send_frame(const WireRequest& req, PendingOp op) {
+  if (closed_.load()) {
+    throw serving::ShutdownError("net::Client: submit on a closed connection");
+  }
+  const std::uint64_t correlation = next_correlation_.fetch_add(1);
+  SubmitFrame f;
+  f.correlation = correlation;
+  f.deadline_ms = req.deadline_ms;
+  f.model = req.model;
+  f.session = req.session;
+  f.rows = static_cast<std::uint32_t>(req.hidden.dim(0));
+  f.cols = static_cast<std::uint32_t>(req.hidden.dim(1));
+  f.tokens = reinterpret_cast<const std::byte*>(req.hidden.data());
+
+  Buffer wire;
+  encode_submit(wire, f);
+
+  // Register before writing: the response can arrive on the receiver
+  // thread before the sender returns.
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.emplace(correlation, std::move(op));
+  }
+  {
+    std::lock_guard lock(write_mutex_);
+    while (!wire.empty()) {
+      const ssize_t n =
+          ::send(fd_, wire.data(), wire.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        wire.consume(static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      // The receiver sees the same broken connection and fails every
+      // pending future (this one included); just stop writing.
+      break;
+    }
+  }
+  return correlation;
+}
+
+std::future<WireResponse> Client::submit(WireRequest req) {
+  PendingOp op;
+  op.as_serving = false;
+  auto fut = op.wire.get_future();
+  send_frame(req, std::move(op));
+  return fut;
+}
+
+std::future<serving::Response> Client::submit_serving(WireRequest req) {
+  PendingOp op;
+  op.as_serving = true;
+  auto fut = op.serving.get_future();
+  send_frame(req, std::move(op));
+  return fut;
+}
+
+void Client::receive_loop() {
+  std::vector<std::byte> chunk(16384);
+  Frame frame;
+  for (;;) {
+    // Drain every complete frame before blocking in recv again.
+    for (;;) {
+      const DecodeStatus status = decoder_.next(&frame);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kError ||
+          frame.type != FrameType::kResponse) {
+        fail_pending("net::Client: protocol error from server: " +
+                     (decoder_.failed() ? decoder_.error()
+                                        : std::string("unexpected frame")));
+        return;
+      }
+      const ResponseFrame& rf = frame.response;
+      PendingOp op;
+      bool found = false;
+      {
+        std::lock_guard lock(pending_mutex_);
+        auto it = pending_.find(rf.correlation);
+        if (it != pending_.end()) {
+          op = std::move(it->second);
+          pending_.erase(it);
+          found = true;
+        }
+      }
+      if (!found) continue;  // unsolicited correlation; drop
+      if (op.as_serving) {
+        if (rf.error == serving::ErrorCode::kOk) {
+          serving::Response resp;
+          resp.error = serving::ErrorCode::kOk;
+          resp.model = std::string(rf.model);
+          resp.replica = rf.replica;
+          if (!rf.session.empty()) resp.session = std::string(rf.session);
+          resp.output = Tensor<fp16_t>({static_cast<std::int64_t>(rf.rows),
+                                        static_cast<std::int64_t>(rf.cols)});
+          std::memcpy(resp.output.data(), rf.tokens, rf.token_bytes());
+          op.serving.set_value(std::move(resp));
+        } else {
+          op.serving.set_exception(serving::make_serving_error(
+              rf.error, std::string(rf.message)));
+        }
+      } else {
+        WireResponse resp;
+        resp.correlation = rf.correlation;
+        resp.error = rf.error;
+        resp.message = std::string(rf.message);
+        resp.model = std::string(rf.model);
+        resp.session = std::string(rf.session);
+        resp.replica = rf.replica;
+        if (rf.rows > 0) {
+          resp.output = Tensor<fp16_t>({static_cast<std::int64_t>(rf.rows),
+                                        static_cast<std::int64_t>(rf.cols)});
+          std::memcpy(resp.output.data(), rf.tokens, rf.token_bytes());
+        }
+        op.wire.set_value(std::move(resp));
+      }
+    }
+
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n > 0) {
+      decoder_.feed(chunk.data(), static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or error: the connection is gone either way.
+    fail_pending("net::Client: connection closed");
+    return;
+  }
+}
+
+void Client::fail_pending(const std::string& why) {
+  std::unordered_map<std::uint64_t, PendingOp> orphans;
+  {
+    std::lock_guard lock(pending_mutex_);
+    orphans.swap(pending_);
+  }
+  for (auto& [correlation, op] : orphans) {
+    if (op.as_serving) {
+      op.serving.set_exception(
+          serving::make_serving_error(serving::ErrorCode::kShutdown, why));
+    } else {
+      WireResponse resp;
+      resp.correlation = correlation;
+      resp.error = serving::ErrorCode::kShutdown;
+      resp.message = why;
+      op.wire.set_value(std::move(resp));
+    }
+  }
+}
+
+void Client::close() {
+  if (closed_.exchange(true)) return;
+  // SHUT_RDWR unblocks the receiver's recv() with EOF; it then fails any
+  // futures still pending and exits.
+  ::shutdown(fd_, SHUT_RDWR);
+  if (receiver_.joinable()) receiver_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace bt::net

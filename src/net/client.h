@@ -1,0 +1,116 @@
+// Blocking loopback client for the net::Server wire protocol.
+//
+// One Client owns one TCP connection. submit() encodes a submit frame,
+// writes it on the caller's thread, and returns a future; a receiver
+// thread blocks on recv(), decodes response frames, and resolves each
+// future by correlation id — so any number of requests can be in flight
+// on one connection and responses resolve in whatever order the server
+// finishes them (the serving tier's out-of-order completion is visible
+// end-to-end).
+//
+// Two submission surfaces:
+//
+//   submit()         -> future<WireResponse>: the raw wire reply — stable
+//                       ErrorCode, diagnostic message, provenance, tokens.
+//                       Nothing throws for server-side failures; the error
+//                       code is data. This is the load-generator surface.
+//
+//   submit_serving() -> future<serving::Response>: the adapter that makes
+//                       a wire connection a drop-in for Service::submit —
+//                       a kOk frame resolves to a serving::Response, any
+//                       other code rejects the future with the SAME typed
+//                       exception the in-process API would have thrown
+//                       (serving::make_serving_error), so code written
+//                       against Service futures (replay_trace, the
+//                       simulator) runs unchanged over sockets.
+//
+// Thread-safety: submit()/submit_serving() may be called from any number
+// of threads (writes are serialized internally). close() unblocks the
+// receiver; futures still pending when the connection dies are rejected
+// with serving::ShutdownError.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/protocol.h"
+#include "serving/engine.h"
+
+namespace bt::net {
+
+// One request through the client, in caller-owned storage. deadline_ms is
+// relative to *server* receipt (the wire contract), 0 = no deadline.
+struct WireRequest {
+  std::string model;    // empty = the service's default model
+  std::string session;  // empty = sessionless
+  std::uint32_t deadline_ms = 0;
+  Tensor<fp16_t> hidden;  // [rows, cols] fp16 token matrix
+};
+
+// One decoded reply, with the token payload copied out of the wire buffer
+// into an owning tensor (the decoder's view dies with the next frame; the
+// future's value cannot).
+struct WireResponse {
+  std::uint64_t correlation = 0;
+  serving::ErrorCode error = serving::ErrorCode::kOk;
+  std::string message;  // diagnostic detail when error != kOk
+  std::string model;
+  std::string session;
+  std::int32_t replica = -1;
+  Tensor<fp16_t> output;  // empty unless error == kOk
+
+  bool ok() const { return error == serving::ErrorCode::kOk; }
+};
+
+class Client {
+ public:
+  // Connects to 127.0.0.1:port (blocking) and starts the receiver thread.
+  // Throws std::runtime_error when the connection is refused.
+  explicit Client(std::uint16_t port,
+                  std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  ~Client();  // close()
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  std::future<WireResponse> submit(WireRequest req);
+  std::future<serving::Response> submit_serving(WireRequest req);
+
+  // Half-closes the connection (the server sees EOF after draining),
+  // rejects every still-pending future with serving::ShutdownError, and
+  // joins the receiver. Idempotent.
+  void close();
+
+  bool connected() const { return !closed_.load(); }
+
+ private:
+  // A pending correlation resolves through exactly one of these promises,
+  // chosen at submit time.
+  struct PendingOp {
+    bool as_serving = false;
+    std::promise<WireResponse> wire;
+    std::promise<serving::Response> serving;
+  };
+
+  std::uint64_t send_frame(const WireRequest& req, PendingOp op);
+  void receive_loop();
+  void fail_pending(const std::string& why);
+
+  int fd_ = -1;
+  std::atomic<bool> closed_{false};
+  std::thread receiver_;
+  std::atomic<std::uint64_t> next_correlation_{1};
+
+  std::mutex write_mutex_;  // serializes frame writes across threads
+
+  std::mutex pending_mutex_;
+  std::unordered_map<std::uint64_t, PendingOp> pending_;
+  Decoder decoder_;  // receiver-thread only
+};
+
+}  // namespace bt::net

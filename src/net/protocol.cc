@@ -1,0 +1,231 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace bt::net {
+
+namespace {
+
+// Bounds-checked sequential reader over one frame's payload. Every read_*
+// returns false instead of touching out-of-range bytes, so a frame that
+// lies about its field lengths is reported as malformed, never overread.
+struct Cursor {
+  const std::byte* p;
+  std::size_t left;
+
+  bool read_bytes(const std::byte** out, std::size_t n) {
+    if (left < n) return false;
+    *out = p;
+    p += n;
+    left -= n;
+    return true;
+  }
+
+  bool read_u8(std::uint8_t* out) {
+    const std::byte* b;
+    if (!read_bytes(&b, 1)) return false;
+    *out = static_cast<std::uint8_t>(*b);
+    return true;
+  }
+
+  bool read_u16(std::uint16_t* out) {
+    const std::byte* b;
+    if (!read_bytes(&b, 2)) return false;
+    *out = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(b[0]) |
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[1]) << 8));
+    return true;
+  }
+
+  bool read_u32(std::uint32_t* out) {
+    const std::byte* b;
+    if (!read_bytes(&b, 4)) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t* out) {
+    const std::byte* b;
+    if (!read_bytes(&b, 8)) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool read_str8(std::string_view* out) {
+    std::uint8_t len;
+    const std::byte* b;
+    if (!read_u8(&len) || !read_bytes(&b, len)) return false;
+    *out = std::string_view(reinterpret_cast<const char*>(b), len);
+    return true;
+  }
+
+  bool read_str16(std::string_view* out) {
+    std::uint16_t len;
+    const std::byte* b;
+    if (!read_u16(&len) || !read_bytes(&b, len)) return false;
+    *out = std::string_view(reinterpret_cast<const char*>(b), len);
+    return true;
+  }
+
+  // The token matrix must account for every remaining payload byte: a
+  // frame with leftover (or missing) bytes after its declared fields is
+  // malformed, not silently tolerated.
+  bool read_tokens(std::uint32_t rows, std::uint32_t cols,
+                   const std::byte** out) {
+    if (left % 2 != 0) return false;
+    if (static_cast<std::uint64_t>(rows) * cols != left / 2) return false;
+    return read_bytes(out, left);
+  }
+};
+
+void append_str8(Buffer& out, std::string_view s, const char* field) {
+  if (s.size() > 0xff) {
+    throw std::invalid_argument(std::string("encode: ") + field +
+                                " exceeds 255 bytes");
+  }
+  out.append_u8(static_cast<std::uint8_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+void append_str16(Buffer& out, std::string_view s, const char* field) {
+  if (s.size() > 0xffff) {
+    throw std::invalid_argument(std::string("encode: ") + field +
+                                " exceeds 65535 bytes");
+  }
+  out.append_u16(static_cast<std::uint16_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+void check_tokens(std::uint32_t rows, std::uint32_t cols,
+                  const std::byte* tokens) {
+  if (rows != 0 && cols != 0 && tokens == nullptr) {
+    throw std::invalid_argument(
+        "encode: token payload declared without bytes");
+  }
+}
+
+}  // namespace
+
+void encode_submit(Buffer& out, const SubmitFrame& f) {
+  check_tokens(f.rows, f.cols, f.tokens);
+  const std::size_t payload = 2 /*version+type*/ + 8 + 4 + 1 + f.model.size() +
+                              1 + f.session.size() + 4 + 4 + f.token_bytes();
+  out.append_u32(static_cast<std::uint32_t>(payload));
+  out.append_u8(kWireVersion);
+  out.append_u8(static_cast<std::uint8_t>(FrameType::kSubmit));
+  out.append_u64(f.correlation);
+  out.append_u32(f.deadline_ms);
+  append_str8(out, f.model, "model");
+  append_str8(out, f.session, "session");
+  out.append_u32(f.rows);
+  out.append_u32(f.cols);
+  out.append(f.tokens, f.token_bytes());
+}
+
+void encode_response(Buffer& out, const ResponseFrame& f) {
+  check_tokens(f.rows, f.cols, f.tokens);
+  const std::size_t payload = 2 + 8 + 1 + 4 + 1 + f.model.size() + 1 +
+                              f.session.size() + 2 + f.message.size() + 4 + 4 +
+                              f.token_bytes();
+  out.append_u32(static_cast<std::uint32_t>(payload));
+  out.append_u8(kWireVersion);
+  out.append_u8(static_cast<std::uint8_t>(FrameType::kResponse));
+  out.append_u64(f.correlation);
+  out.append_u8(static_cast<std::uint8_t>(f.error));
+  out.append_u32(static_cast<std::uint32_t>(f.replica));
+  append_str8(out, f.model, "model");
+  append_str8(out, f.session, "session");
+  append_str16(out, f.message, "message");
+  out.append_u32(f.rows);
+  out.append_u32(f.cols);
+  out.append(f.tokens, f.token_bytes());
+}
+
+DecodeStatus Decoder::fail(std::string why) {
+  failed_ = true;
+  error_ = std::move(why);
+  return DecodeStatus::kError;
+}
+
+DecodeStatus Decoder::next(Frame* out) {
+  if (failed_) return DecodeStatus::kError;
+  if (pending_consume_ > 0) {
+    buf_.consume(pending_consume_);
+    pending_consume_ = 0;
+  }
+  if (buf_.size() < kLengthPrefixBytes) return DecodeStatus::kNeedMore;
+  const std::byte* raw = buf_.data();
+  std::uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+  }
+  if (payload_len < 2) {
+    return fail("frame too short to hold version and type (" +
+                std::to_string(payload_len) + " bytes)");
+  }
+  if (payload_len > max_frame_bytes_) {
+    return fail("frame of " + std::to_string(payload_len) +
+                " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+                "-byte limit");
+  }
+  if (buf_.size() < kLengthPrefixBytes + payload_len) {
+    return DecodeStatus::kNeedMore;
+  }
+
+  Cursor c{raw + kLengthPrefixBytes, payload_len};
+  std::uint8_t version = 0, type = 0;
+  c.read_u8(&version);  // cannot fail: payload_len >= 2
+  c.read_u8(&type);
+  if (version != kWireVersion) {
+    return fail("unsupported wire version " + std::to_string(version));
+  }
+
+  bool ok = false;
+  if (type == static_cast<std::uint8_t>(FrameType::kSubmit)) {
+    out->type = FrameType::kSubmit;
+    SubmitFrame& f = out->submit;
+    f = SubmitFrame{};
+    ok = c.read_u64(&f.correlation) && c.read_u32(&f.deadline_ms) &&
+         c.read_str8(&f.model) && c.read_str8(&f.session) &&
+         c.read_u32(&f.rows) && c.read_u32(&f.cols) &&
+         c.read_tokens(f.rows, f.cols, &f.tokens);
+  } else if (type == static_cast<std::uint8_t>(FrameType::kResponse)) {
+    out->type = FrameType::kResponse;
+    ResponseFrame& f = out->response;
+    f = ResponseFrame{};
+    std::uint8_t error = 0;
+    std::uint32_t replica = 0;
+    ok = c.read_u64(&f.correlation) && c.read_u8(&error) &&
+         c.read_u32(&replica) && c.read_str8(&f.model) &&
+         c.read_str8(&f.session) && c.read_str16(&f.message) &&
+         c.read_u32(&f.rows) && c.read_u32(&f.cols) &&
+         c.read_tokens(f.rows, f.cols, &f.tokens);
+    if (ok && error >= serving::kErrorCodeCount) {
+      return fail("invalid error code " + std::to_string(error));
+    }
+    f.error = static_cast<serving::ErrorCode>(error);
+    f.replica = static_cast<std::int32_t>(replica);
+  } else {
+    return fail("unknown frame type " + std::to_string(type));
+  }
+  if (!ok) {
+    return fail("malformed frame payload (declared fields exceed the " +
+                std::to_string(payload_len) + "-byte payload)");
+  }
+  // The parsed views alias buf_; consume on the NEXT call, once the caller
+  // is done with them.
+  pending_consume_ = kLengthPrefixBytes + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace bt::net

@@ -1,0 +1,524 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace bt::net {
+
+namespace {
+
+constexpr std::size_t kRecvChunk = 16384;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("net::Server: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(serving::Service& service, const ServerOptions& opts)
+      : service(service), opts(opts) {}
+
+  serving::Service& service;
+  ServerOptions opts;
+
+  int listen_fd = -1;
+  int wake_read_fd = -1;
+  int wake_write_fd = -1;
+  std::uint16_t bound_port = 0;
+  bool started = false;
+  bool stopped = false;
+  std::atomic<bool> stop_flag{false};
+  std::thread loop_thread;
+  std::thread pump_thread;
+
+  // ---- per-connection state (event-loop thread only) ----------------------
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    Decoder decoder;
+    Buffer out;  // per-connection write queue of encoded response frames
+    // Correlations awaiting a response; bounds duplicate detection to what
+    // the protocol can actually disambiguate (a correlation is reusable
+    // the moment its response frame is queued).
+    std::unordered_set<std::uint64_t> inflight;
+    bool read_closed = false;  // peer half-closed; flush, then drop
+
+    Connection(int fd, std::uint64_t id, std::size_t max_frame_bytes)
+        : fd(fd), id(id), decoder(max_frame_bytes) {}
+  };
+  std::unordered_map<std::uint64_t, Connection> conns;
+  std::uint64_t next_conn_id = 1;
+
+  // ---- completion bridge (event loop <-> pump thread) ---------------------
+  struct InFlight {
+    std::uint64_t conn_id = 0;
+    std::uint64_t correlation = 0;
+    std::future<serving::Response> fut;
+  };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t correlation = 0;
+    serving::ErrorCode error = serving::ErrorCode::kOk;
+    std::string message;        // error detail when error != kOk
+    serving::Response response; // valid when error == kOk
+  };
+  std::mutex pump_mutex;
+  std::condition_variable pump_cv;
+  std::vector<InFlight> inflight;
+  std::deque<Completion> completed;
+  bool pump_stop = false;
+
+  mutable std::mutex stats_mutex;
+  ServerStats stats;
+
+  // ---- socket setup -------------------------------------------------------
+
+  void open_sockets() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listen_fd < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts.port);
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      throw_errno("bind");
+    }
+    if (::listen(listen_fd, opts.listen_backlog) != 0) throw_errno("listen");
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      throw_errno("getsockname");
+    }
+    bound_port = ntohs(addr.sin_port);
+
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) throw_errno("pipe2");
+    wake_read_fd = pipe_fds[0];
+    wake_write_fd = pipe_fds[1];
+  }
+
+  void wake() {
+    const char byte = 'w';
+    // EAGAIN means a wake byte is already pending — exactly as good.
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd, &byte, 1);
+  }
+
+  // ---- completion pump ----------------------------------------------------
+  //
+  // std::future has no completion hook, so readiness is polled — the same
+  // idiom as serving::replay_trace, off the event loop so socket latency
+  // never couples to the scan. The 200 us poll period is noise against
+  // ms-scale inference; completions reach the loop through the self-pipe.
+  void pump_loop() {
+    using namespace std::chrono_literals;
+    std::unique_lock lock(pump_mutex);
+    while (!pump_stop) {
+      if (inflight.empty()) {
+        pump_cv.wait(lock, [&] { return pump_stop || !inflight.empty(); });
+        continue;
+      }
+      bool any_ready = false;
+      for (auto it = inflight.begin(); it != inflight.end();) {
+        if (it->fut.wait_for(0s) != std::future_status::ready) {
+          ++it;
+          continue;
+        }
+        Completion c;
+        c.conn_id = it->conn_id;
+        c.correlation = it->correlation;
+        try {
+          c.response = it->fut.get();
+          c.error = serving::ErrorCode::kOk;
+        } catch (...) {
+          // Typed serving errors keep their stable code on the wire; an
+          // unexpected failure maps to kShutdown — whatever broke, this
+          // server cannot serve the request.
+          c.error = serving::error_code_of(std::current_exception(),
+                                           serving::ErrorCode::kShutdown,
+                                           &c.message);
+        }
+        completed.push_back(std::move(c));
+        it = inflight.erase(it);
+        any_ready = true;
+      }
+      if (any_ready) {
+        wake();
+      } else {
+        // wait_for releases the lock, so the event loop can add in-flight
+        // entries (and stop() can interrupt) between scans.
+        pump_cv.wait_for(lock, 200us);
+      }
+    }
+  }
+
+  // ---- event loop ---------------------------------------------------------
+
+  void loop() {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd slot (>= 2)
+    while (!stop_flag.load(std::memory_order_relaxed)) {
+      fds.clear();
+      fd_conn.clear();
+      // Slot 0: listener — left out of the set at the connection cap, so a
+      // flood parks in the backlog instead of busy-waking the loop.
+      const bool accepting = conns.size() < opts.max_connections;
+      fds.push_back({accepting ? listen_fd : -1, POLLIN, 0});
+      fds.push_back({wake_read_fd, POLLIN, 0});
+      for (auto& [id, conn] : conns) {
+        short events = 0;
+        if (!conn.read_closed) events |= POLLIN;
+        if (!conn.out.empty()) events |= POLLOUT;
+        fds.push_back({conn.fd, events, 0});
+        fd_conn.push_back(id);
+      }
+
+      const int n = ::poll(fds.data(), fds.size(), opts.poll_timeout_ms);
+      if (stop_flag.load(std::memory_order_relaxed)) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // unrecoverable poll failure; tear the loop down
+      }
+
+      if (fds[1].revents & POLLIN) {
+        drain_wake_pipe();
+        process_completions();
+      }
+      if (fds[0].revents & POLLIN) accept_new();
+
+      std::vector<std::uint64_t> dead;
+      for (std::size_t i = 2; i < fds.size(); ++i) {
+        const auto it = conns.find(fd_conn[i - 2]);
+        if (it == conns.end()) continue;  // closed by a completion flush
+        Connection& conn = it->second;
+        const short re = fds[i].revents;
+        if (re == 0) continue;
+        bool alive = true;
+        if (re & (POLLERR | POLLNVAL)) {
+          alive = false;
+        } else {
+          // Read before honouring POLLHUP: a peer that wrote then closed
+          // still has frames in the kernel buffer.
+          if (re & (POLLIN | POLLHUP)) alive = handle_readable(conn);
+          if (alive && (re & POLLOUT)) alive = flush_writes(conn);
+        }
+        if (alive && conn.read_closed && conn.inflight.empty() &&
+            conn.out.empty()) {
+          alive = false;  // drained a half-closed connection: done
+        }
+        if (!alive) dead.push_back(conn.id);
+      }
+      for (std::uint64_t id : dead) close_conn(id);
+    }
+
+    for (auto& [id, conn] : conns) ::close(conn.fd);
+    {
+      std::lock_guard lock(stats_mutex);
+      stats.active_connections = 0;
+    }
+    conns.clear();
+  }
+
+  void drain_wake_pipe() {
+    char sink[64];
+    while (::read(wake_read_fd, sink, sizeof sink) > 0) {
+    }
+  }
+
+  void accept_new() {
+    while (conns.size() < opts.max_connections) {
+      const int fd =
+          ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN: backlog drained
+      }
+      const int one = 1;
+      // Response frames are small and latency-bound; never Nagle them.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const std::uint64_t id = next_conn_id++;
+      conns.emplace(id, Connection(fd, id, opts.max_frame_bytes));
+      std::lock_guard lock(stats_mutex);
+      ++stats.accepted_connections;
+      stats.active_connections = static_cast<long long>(conns.size());
+    }
+  }
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    ::close(it->second.fd);
+    conns.erase(it);
+    // In-flight futures belonging to this connection stay with the pump;
+    // their completions are dropped (and counted) when they surface.
+    std::lock_guard lock(stats_mutex);
+    stats.active_connections = static_cast<long long>(conns.size());
+  }
+
+  // Returns false when the connection must be closed.
+  bool handle_readable(Connection& conn) {
+    for (;;) {
+      std::byte* dst = conn.decoder.buffer().reserve(kRecvChunk);
+      const ssize_t n = ::recv(conn.fd, dst, kRecvChunk, 0);
+      if (n > 0) {
+        conn.decoder.buffer().commit(static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        conn.read_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;  // ECONNRESET and friends
+    }
+
+    Frame frame;
+    for (;;) {
+      const DecodeStatus status = conn.decoder.next(&frame);
+      if (status == DecodeStatus::kNeedMore) return true;
+      if (status == DecodeStatus::kError ||
+          frame.type != FrameType::kSubmit) {
+        // Unframeable bytes — or a response frame, which only servers
+        // send. Either way the stream is garbage: drop the connection,
+        // keep the loop.
+        std::lock_guard lock(stats_mutex);
+        ++stats.protocol_errors;
+        return false;
+      }
+      if (!handle_submit(conn, frame.submit)) {
+        std::lock_guard lock(stats_mutex);
+        ++stats.protocol_errors;
+        return false;
+      }
+    }
+  }
+
+  // Returns false on a protocol violation (caller closes the connection).
+  bool handle_submit(Connection& conn, const SubmitFrame& f) {
+    {
+      std::lock_guard lock(stats_mutex);
+      ++stats.frames_received;
+    }
+    // A token matrix with no rows (or no columns) can never be a valid
+    // request; the width check against the resolved model's hidden size
+    // happens inside the service, where the model is known.
+    if (f.rows < 1 || f.cols < 1) return false;
+    if (conn.inflight.count(f.correlation) != 0) {
+      // Same stable code a C++ caller gets for a duplicate request id; the
+      // connection survives — the frame itself was well-formed.
+      queue_error(conn, f.correlation, serving::ErrorCode::kDuplicateId,
+                  "correlation id already in flight on this connection");
+      return true;
+    }
+
+    serving::Request req;
+    req.hidden = Tensor<fp16_t>(
+        {static_cast<std::int64_t>(f.rows), static_cast<std::int64_t>(f.cols)});
+    // The one copy between socket and compute: wire token bytes land
+    // directly in the Request tensor's storage.
+    std::memcpy(req.hidden.data(), f.tokens, f.token_bytes());
+    if (!f.model.empty()) req.model = std::string(f.model);
+    if (!f.session.empty()) req.session = std::string(f.session);
+    if (f.deadline_ms > 0) {
+      req.deadline = serving::deadline_in(f.deadline_ms * 1e-3);
+    }
+
+    std::optional<std::future<serving::Response>> fut;
+    try {
+      // The non-blocking path, always: the event loop must stay responsive
+      // under any fleet load. (Unknown models come back as an engaged,
+      // already-failed future and are framed by the pump like any other
+      // completion.)
+      fut = service.try_submit(std::move(req));
+    } catch (const std::exception&) {
+      // invalid_argument here means the frame lied about its token matrix
+      // (wrong width for the resolved model): a client bug, handled like
+      // any other malformed traffic.
+      return false;
+    }
+    if (!fut.has_value()) {
+      const bool shutdown = service.stopped();
+      queue_error(conn, f.correlation,
+                  shutdown ? serving::ErrorCode::kShutdown
+                           : serving::ErrorCode::kBackpressure,
+                  shutdown ? "service is stopped"
+                           : "replica queue full; retry");
+      if (!shutdown) {
+        std::lock_guard lock(stats_mutex);
+        ++stats.backpressure_replies;
+      }
+      return true;
+    }
+
+    conn.inflight.insert(f.correlation);
+    {
+      std::lock_guard lock(pump_mutex);
+      inflight.push_back({conn.id, f.correlation, std::move(*fut)});
+    }
+    pump_cv.notify_one();
+    return true;
+  }
+
+  void queue_error(Connection& conn, std::uint64_t correlation,
+                   serving::ErrorCode code, std::string_view message) {
+    ResponseFrame f;
+    f.correlation = correlation;
+    f.error = code;
+    f.message = message;
+    encode_response(conn.out, f);
+    std::lock_guard lock(stats_mutex);
+    ++stats.error_frames_sent;
+  }
+
+  void process_completions() {
+    std::deque<Completion> batch;
+    {
+      std::lock_guard lock(pump_mutex);
+      batch.swap(completed);
+    }
+    std::vector<std::uint64_t> dead;
+    for (Completion& c : batch) {
+      const auto it = conns.find(c.conn_id);
+      if (it == conns.end()) {
+        std::lock_guard lock(stats_mutex);
+        ++stats.dropped_completions;
+        continue;
+      }
+      Connection& conn = it->second;
+      conn.inflight.erase(c.correlation);
+      if (c.error == serving::ErrorCode::kOk) {
+        ResponseFrame f;
+        f.correlation = c.correlation;
+        f.error = serving::ErrorCode::kOk;
+        f.replica = c.response.replica;
+        f.model = c.response.model;
+        if (c.response.session.has_value()) f.session = *c.response.session;
+        f.rows = static_cast<std::uint32_t>(c.response.output.dim(0));
+        f.cols = static_cast<std::uint32_t>(c.response.output.dim(1));
+        f.tokens = reinterpret_cast<const std::byte*>(c.response.output.data());
+        encode_response(conn.out, f);
+        std::lock_guard lock(stats_mutex);
+        ++stats.responses_sent;
+      } else {
+        queue_error(conn, c.correlation, c.error, c.message);
+      }
+      // Flush eagerly: waiting for the next poll() round would add a tick
+      // of latency to every response.
+      if (!flush_writes(conn) ||
+          (conn.read_closed && conn.inflight.empty() && conn.out.empty())) {
+        dead.push_back(conn.id);
+      }
+    }
+    for (std::uint64_t id : dead) close_conn(id);
+  }
+
+  // Returns false when the connection must be closed.
+  bool flush_writes(Connection& conn) {
+    while (!conn.out.empty()) {
+      const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out.consume(static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // EPIPE, ECONNRESET
+    }
+    return true;
+  }
+};
+
+Server::Server(serving::Service& service, ServerOptions opts)
+    : service_(service), opts_(opts) {
+  if (opts_.max_connections < 1) {
+    throw std::invalid_argument("ServerOptions: max_connections must be >= 1");
+  }
+  if (opts_.max_frame_bytes < 2 + kLengthPrefixBytes) {
+    throw std::invalid_argument("ServerOptions: max_frame_bytes too small");
+  }
+  if (opts_.poll_timeout_ms < 1) {
+    throw std::invalid_argument("ServerOptions: poll_timeout_ms must be >= 1");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (impl_ != nullptr) {
+    throw std::runtime_error("net::Server: start() called twice");
+  }
+  auto impl = std::make_unique<Impl>(service_, opts_);
+  impl->open_sockets();
+  impl->started = true;
+  impl->pump_thread = std::thread([i = impl.get()] { i->pump_loop(); });
+  impl->loop_thread = std::thread([i = impl.get()] { i->loop(); });
+  impl_ = std::move(impl);
+}
+
+void Server::stop() {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (impl_ == nullptr || impl_->stopped) return;
+  impl_->stop_flag.store(true);
+  impl_->wake();
+  {
+    std::lock_guard plock(impl_->pump_mutex);
+    impl_->pump_stop = true;
+  }
+  impl_->pump_cv.notify_all();
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  if (impl_->pump_thread.joinable()) impl_->pump_thread.join();
+  ::close(impl_->listen_fd);
+  ::close(impl_->wake_read_fd);
+  ::close(impl_->wake_write_fd);
+  impl_->stopped = true;
+}
+
+bool Server::running() const {
+  std::lock_guard lock(lifecycle_mutex_);
+  return impl_ != nullptr && impl_->started && !impl_->stopped;
+}
+
+std::uint16_t Server::port() const {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (impl_ == nullptr) {
+    throw std::runtime_error("net::Server: port() before start()");
+  }
+  return impl_->bound_port;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (impl_ == nullptr) return {};
+  std::lock_guard slock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+}  // namespace bt::net

@@ -1,0 +1,121 @@
+// Event-loop TCP front-end over serving::Service — sockets in, responses
+// out.
+//
+// Until this layer, "serving" ended at a C++ future: every tier below
+// (Engine -> AsyncEngine -> EnginePool -> Service) is an in-process API.
+// Server makes connections the unit of load: a poll(2)-driven event loop
+// accepts loopback TCP connections, speaks the length-prefixed protocol of
+// net/protocol.h, and fronts one serving::Service.
+//
+//   serving::Service service(std::move(registry));
+//   net::Server server(service);            // port 0 = kernel-assigned
+//   server.start();
+//   ... clients connect to 127.0.0.1:server.port() ...
+//   server.stop();                          // then service.stop()
+//
+// Architecture (two threads per server, N connections each O(buffers)):
+//
+//   event-loop thread — the only thread that touches sockets. Non-blocking
+//     accept/read/write via poll(). Each connection owns a frame Decoder
+//     (recv() lands directly in its Buffer via reserve/commit) and a write
+//     Buffer (the per-connection response queue). A decoded submit frame
+//     becomes a serving::Request — token bytes memcpy'd straight from the
+//     wire buffer into the Request tensor — and enters the service through
+//     try_submit(), the non-blocking path: a full replica queue comes back
+//     as an immediate kBackpressure response frame, so the accept loop
+//     NEVER blocks behind the compute tier, no matter how overloaded the
+//     fleet is. Malformed or oversized frames kill their connection (the
+//     stream is unframeable), never the loop.
+//
+//   completion thread — bridges Service futures back to the loop. It polls
+//     the in-flight futures (readiness-poll, same idiom as
+//     serving::replay_trace), converts each resolution into an encoded
+//     response frame payload — Response -> kOk frame with provenance;
+//     typed serving errors -> their stable ErrorCode; anything else ->
+//     kShutdown — and wakes the event loop through a self-pipe. The loop
+//     drains completions onto the owning connection's write queue (dropped
+//     silently if the connection is gone) and flushes as POLLOUT allows.
+//
+// Deadlines: a submit frame's deadline_ms starts counting at server
+// receipt (serving::deadline_in), so the in-process shedding machinery —
+// EDF admission, early window close, pre-compute shed — works unchanged
+// for wire traffic; a shed request surfaces as a kDeadlineExceeded frame.
+//
+// Shutdown: stop() closes the listener and every connection and joins both
+// threads. Responses still in flight are dropped — their promises resolve
+// into abandoned futures, which is safe — because the peers they belong to
+// are being disconnected anyway. For a graceful drain, stop the clients
+// first (or let them collect their responses), then the server, then the
+// service.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "net/protocol.h"
+#include "serving/service.h"
+
+namespace bt::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;    // 0 = kernel-assigned; see Server::port()
+  int listen_backlog = 64;
+  std::size_t max_connections = 256;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Idle poll() tick. Liveness never depends on it — socket events and the
+  // completion self-pipe both interrupt the wait — it only bounds how fast
+  // a stop() issued from outside is noticed at worst.
+  int poll_timeout_ms = 100;
+};
+
+// Cumulative wire-level accounting (monotonic except active_connections).
+struct ServerStats {
+  long long accepted_connections = 0;
+  long long active_connections = 0;
+  long long frames_received = 0;        // well-formed submit frames
+  long long responses_sent = 0;         // kOk frames queued
+  long long error_frames_sent = 0;      // all non-kOk frames queued
+  long long backpressure_replies = 0;   // kBackpressure subset of the above
+  long long protocol_errors = 0;        // connections killed by bad framing
+  long long dropped_completions = 0;    // response arrived after its
+                                        // connection closed
+};
+
+class Server {
+ public:
+  // The service must outlive the server (construct service first, stop the
+  // server first).
+  explicit Server(serving::Service& service, ServerOptions opts = {});
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds 127.0.0.1:port, starts listening, and spawns the event-loop and
+  // completion threads. Throws std::runtime_error when the socket setup
+  // fails (port in use, fd exhaustion). Not restartable after stop().
+  void start();
+
+  // Closes the listener and every connection, joins both threads.
+  // Idempotent, safe from any thread.
+  void stop();
+
+  bool running() const;
+
+  // The bound port — the kernel's pick when options().port was 0. Valid
+  // after start().
+  std::uint16_t port() const;
+
+  ServerStats stats() const;
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Impl;  // sockets, poll loop, completion pump (server.cc)
+  serving::Service& service_;
+  ServerOptions opts_;
+  std::unique_ptr<Impl> impl_;
+  mutable std::mutex lifecycle_mutex_;  // start/stop serialization
+};
+
+}  // namespace bt::net

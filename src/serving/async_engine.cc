@@ -52,7 +52,7 @@ std::future<Response> AsyncEngine::submit(Request req) {
   cv_space_.wait(lock,
                  [&] { return stop_ || queue_.size() < opts_.max_queue; });
   if (stop_) {
-    throw std::runtime_error("AsyncEngine::submit: engine is stopped");
+    throw ShutdownError("AsyncEngine::submit: engine is stopped");
   }
   // Re-validate-and-reserve after the wait: another submitter could have
   // issued the same caller-supplied id while this thread was blocked. The
@@ -336,7 +336,7 @@ void AsyncEngine::scheduler_loop() {
   // promises would surface as std::future_error(broken_promise) at random
   // callers — fail each one loudly instead.
   if (!queue_.empty()) {
-    auto error = std::make_exception_ptr(std::runtime_error(
+    auto error = std::make_exception_ptr(ShutdownError(
         "AsyncEngine: scheduler exited with undispatched requests"));
     for (Queued& q : queue_) q.promise.set_exception(error);
     queue_.clear();

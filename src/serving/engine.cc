@@ -78,7 +78,9 @@ void validate_request_id(const char* who, RequestId requested,
                                 std::to_string(requested) + " is out of range");
   }
   if (requested >= 0 && ids.issued(requested)) {
-    throw std::invalid_argument(
+    // DuplicateIdError is still an invalid_argument (existing catch sites
+    // hold), but carries ErrorCode::kDuplicateId for the wire front-end.
+    throw DuplicateIdError(
         std::string(who) + ": request id " + std::to_string(requested) +
         " collides with a queued or previously issued id; duplicate "
         "Response::ids would be indistinguishable to the caller");

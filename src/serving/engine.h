@@ -37,6 +37,7 @@
 #include "core/model.h"
 #include "core/workspace.h"
 #include "parallel/device.h"
+#include "serving/error.h"
 #include "serving/scheduler.h"
 #include "tensor/tensor.h"
 
@@ -82,14 +83,9 @@ inline Deadline deadline_in(double seconds) {
              std::chrono::duration<double>(seconds));
 }
 
-// A request whose deadline passed before its round started computing is
-// shed: its future resolves with this error (distinct from the generic
-// runtime errors, so callers can tell "too late, not computed" from real
-// failures) and EngineStats::deadline_shed counts it.
-class DeadlineExceeded : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// DeadlineExceeded, the other typed serving errors, and the stable
+// ErrorCode each of them carries live in serving/error.h (included above):
+// one error vocabulary shared by every serving tier and the wire protocol.
 
 struct Request {
   RequestId id = -1;       // < 0: engine assigns the next sequential id
@@ -196,6 +192,11 @@ RequestId validate_and_reserve_id(const char* who,
 
 struct Response {
   RequestId id = -1;
+  // Always kOk on a Response delivered through the C++ API — failures
+  // travel as exceptions there. The field exists so surfaces that cannot
+  // throw across their boundary (the wire protocol's response frames)
+  // report the identical stable code instead of a stringly-typed error.
+  ErrorCode error = ErrorCode::kOk;
   Tensor<fp16_t> output;       // [length, hidden] valid rows only
   double queue_seconds = 0;    // submit -> scheduling-round start
   double compute_seconds = 0;  // wall time of the owning micro-batch forward

@@ -1,0 +1,162 @@
+// Stable serving error codes — one vocabulary for the C++ API and the wire.
+//
+// Every way a request can fail in the serving tiers has a code here, and
+// every error type the tiers throw (or resolve futures with) carries its
+// code, so the network front-end (src/net/) can frame the exact same
+// condition a C++ caller would catch: a shed request is kDeadlineExceeded
+// whether it failed a future or a socket frame, a full queue is
+// kBackpressure whether it came back as std::nullopt or a decline frame.
+// The numeric values are wire-visible (protocol.h serializes them as one
+// byte) and therefore stable: append new codes, never renumber.
+//
+// Exception taxonomy
+//   * ServingError (std::runtime_error) is the base for runtime failures
+//     delivered through futures or after submission: DeadlineExceeded,
+//     UnknownModelError, ShutdownError, BackpressureError. Catch the base
+//     and switch on code() when one handler serves every path — that is
+//     exactly what the wire server does.
+//   * DuplicateIdError derives from std::invalid_argument, not
+//     ServingError: a duplicate caller-supplied id is a programming error
+//     thrown on the submit thread (the contract every tier documents), and
+//     existing callers catch std::invalid_argument. It still reports
+//     code() == kDuplicateId so the wire can frame it.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace bt::serving {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kUnknownModel = 1,     // Request::model is not a registered name
+  kDuplicateId = 2,      // id collides with a queued or issued id
+  kBackpressure = 3,     // bounded queue full; retry later
+  kDeadlineExceeded = 4, // deadline passed before compute; request shed
+  kShutdown = 5,         // serving tier stopped (or failed terminally)
+};
+
+// One past the largest valid code — the wire decoder's range check.
+inline constexpr std::uint8_t kErrorCodeCount = 6;
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kUnknownModel: return "unknown_model";
+    case ErrorCode::kDuplicateId: return "duplicate_id";
+    case ErrorCode::kBackpressure: return "backpressure";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kShutdown: return "shutdown";
+  }
+  return "invalid";
+}
+
+// Base of the runtime serving failures. what() keeps the human-readable
+// detail; code() is the stable machine-readable identity.
+class ServingError : public std::runtime_error {
+ public:
+  ServingError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+// A request whose deadline passed before its round started computing is
+// shed: its future resolves with this error (distinct from the generic
+// runtime errors, so callers can tell "too late, not computed" from real
+// failures) and EngineStats::deadline_shed counts it.
+class DeadlineExceeded : public ServingError {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : ServingError(ErrorCode::kDeadlineExceeded, what) {}
+};
+
+// Service::submit resolved the request's model name against the registry
+// and found nothing. Delivered through the returned future, not thrown.
+class UnknownModelError : public ServingError {
+ public:
+  explicit UnknownModelError(const std::string& what)
+      : ServingError(ErrorCode::kUnknownModel, what) {}
+};
+
+// Submission reached a tier that has stopped (thrown by submit; try_submit
+// returns std::nullopt instead), or an accepted request could not be served
+// because the tier is going away.
+class ShutdownError : public ServingError {
+ public:
+  explicit ShutdownError(const std::string& what)
+      : ServingError(ErrorCode::kShutdown, what) {}
+};
+
+// The bounded queue declined the request. The in-process tiers signal this
+// with std::nullopt from try_submit (no exception on the hot path); the
+// type exists for surfaces that must deliver the decline asynchronously —
+// the wire client resolves its future with this when the server framed
+// kBackpressure.
+class BackpressureError : public ServingError {
+ public:
+  explicit BackpressureError(const std::string& what)
+      : ServingError(ErrorCode::kBackpressure, what) {}
+};
+
+// Duplicate caller-supplied request id — a programming error on the submit
+// thread (see the taxonomy note above for why this is invalid_argument).
+class DuplicateIdError : public std::invalid_argument {
+ public:
+  explicit DuplicateIdError(const std::string& what)
+      : std::invalid_argument(what) {}
+  ErrorCode code() const noexcept { return ErrorCode::kDuplicateId; }
+};
+
+// Maps an in-flight failure to its wire code: the ServingError hierarchy
+// reports its own code, DuplicateIdError reports kDuplicateId, and anything
+// else (an engine failure mid-round, a lost response) maps to `fallback` —
+// the caller picks the honest default for its context (the wire server uses
+// kShutdown: whatever broke, this server cannot serve the request).
+inline ErrorCode error_code_of(const std::exception_ptr& error,
+                               ErrorCode fallback,
+                               std::string* message = nullptr) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const ServingError& e) {
+    if (message != nullptr) *message = e.what();
+    return e.code();
+  } catch (const DuplicateIdError& e) {
+    if (message != nullptr) *message = e.what();
+    return e.code();
+  } catch (const std::exception& e) {
+    if (message != nullptr) *message = e.what();
+    return fallback;
+  } catch (...) {
+    if (message != nullptr) *message = "unknown error";
+    return fallback;
+  }
+}
+
+// The inverse, for the wire client: reconstructs the typed exception a
+// direct serving::Service caller would have caught for `code`, so error
+// handling is written once against the C++ types whether the service is in
+// process or across a socket.
+inline std::exception_ptr make_serving_error(ErrorCode code,
+                                             const std::string& what) {
+  switch (code) {
+    case ErrorCode::kUnknownModel:
+      return std::make_exception_ptr(UnknownModelError(what));
+    case ErrorCode::kDuplicateId:
+      return std::make_exception_ptr(DuplicateIdError(what));
+    case ErrorCode::kBackpressure:
+      return std::make_exception_ptr(BackpressureError(what));
+    case ErrorCode::kDeadlineExceeded:
+      return std::make_exception_ptr(DeadlineExceeded(what));
+    case ErrorCode::kOk:
+    case ErrorCode::kShutdown:
+      break;
+  }
+  return std::make_exception_ptr(ShutdownError(what));
+}
+
+}  // namespace bt::serving

@@ -127,7 +127,7 @@ std::future<Response> EnginePool::submit(Request req) {
   {
     std::lock_guard lock(mutex_);
     if (stop_) {
-      throw std::runtime_error("EnginePool::submit: pool is stopped");
+      throw ShutdownError("EnginePool::submit: pool is stopped");
     }
     // Pool-level id assignment keeps ids unique across replicas; each
     // replica then sees a fresh caller-supplied id it cannot collide on.

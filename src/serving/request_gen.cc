@@ -41,7 +41,8 @@ std::vector<double> gen_arrivals(int count, double requests_per_second,
 
 ReplayResult replay_trace(
     std::span<const double> arrivals, std::vector<Request> requests,
-    const std::function<std::future<Response>(Request)>& submit) {
+    const std::function<std::future<Response>(Request)>& submit,
+    const std::atomic<bool>* interrupt) {
   using clock = std::chrono::steady_clock;
   constexpr auto kPollPeriod = std::chrono::microseconds(200);
   if (arrivals.size() != requests.size()) {
@@ -77,21 +78,30 @@ ReplayResult replay_trace(
     }
   };
 
-  for (std::size_t i = 0; i < n; ++i) {
+  const auto interrupted = [&] {
+    return interrupt != nullptr && interrupt->load(std::memory_order_relaxed);
+  };
+
+  for (std::size_t i = 0; i < n && !interrupted(); ++i) {
     const auto due = start + std::chrono::duration_cast<clock::duration>(
                                  std::chrono::duration<double>(arrivals[i]));
-    while (clock::now() < due) {
+    while (clock::now() < due && !interrupted()) {
       poll();
       std::this_thread::sleep_for(
           std::min<clock::duration>(kPollPeriod, due - clock::now()));
     }
+    if (interrupted()) break;
     futures[i] = submit(std::move(requests[i]));
     ++submitted;
   }
-  while (resolved < n) {
+  // Drain what was submitted — even on interrupt, so the partial result is
+  // consistent and in-flight work is accounted before the caller tears the
+  // serving stack down.
+  while (resolved < submitted) {
     poll();
-    if (resolved < n) std::this_thread::sleep_for(kPollPeriod);
+    if (resolved < submitted) std::this_thread::sleep_for(kPollPeriod);
   }
+  result.submitted = submitted;
   for (double d : result.done_seconds) {
     result.last_done_seconds = std::max(result.last_done_seconds, d);
   }

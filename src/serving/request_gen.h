@@ -17,6 +17,7 @@
 // multi-replica percentiles.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <span>
@@ -44,6 +45,10 @@ struct ReplayResult {
   // DeadlineExceeded) instead of a Response.
   std::vector<char> failed;
   double last_done_seconds = 0;  // completion time of the final request
+  // How many requests were actually submitted. Equal to requests.size()
+  // on a full replay; smaller when an interrupt cut the replay short —
+  // entries at index >= submitted have done_seconds == -1 and failed == 0.
+  std::size_t submitted = 0;
 
   long long failures() const {
     long long n = 0;
@@ -57,8 +62,15 @@ struct ReplayResult {
 // after submissions, outstanding futures are polled for readiness.
 // `arrivals` must be non-decreasing and the same length as `requests`.
 // `submit` is called on the replay thread and may block (backpressure).
+//
+// `interrupt`, when non-null, makes the replay cancellable from a signal
+// handler or another thread: once it reads true, no further requests are
+// submitted, but every future already in flight is still drained — so the
+// partial result is internally consistent and a report can be printed for
+// exactly the traffic that ran (see ReplayResult::submitted).
 ReplayResult replay_trace(
     std::span<const double> arrivals, std::vector<Request> requests,
-    const std::function<std::future<Response>(Request)>& submit);
+    const std::function<std::future<Response>(Request)>& submit,
+    const std::atomic<bool>* interrupt = nullptr);
 
 }  // namespace bt::serving

@@ -1,5 +1,6 @@
 #include "serving/service.h"
 
+#include <limits>
 #include <utility>
 
 namespace bt::serving {
@@ -49,7 +50,7 @@ std::future<Response> Service::submit(Request req) {
   {
     std::lock_guard lock(mutex_);
     if (stop_) {
-      throw std::runtime_error("Service::submit: service is stopped");
+      throw ShutdownError("Service::submit: service is stopped");
     }
     // Model-independent programming errors (malformed tensor, duplicate id)
     // throw on the caller thread even when the model name is unknown —
@@ -83,6 +84,39 @@ std::future<Response> Service::submit(Tensor<fp16_t> hidden) {
   Request req;
   req.hidden = std::move(hidden);
   return submit(std::move(req));
+}
+
+std::optional<std::future<Response>> Service::try_submit(Request req) {
+  const std::string& name =
+      req.model.has_value() ? *req.model : default_model_;
+  std::lock_guard lock(mutex_);
+  // Programming errors throw even when the request would be declined (the
+  // try_submit contract of every tier below).
+  validate_request_shape("Service::try_submit", req.hidden, /*hidden_dim=*/-1);
+  validate_request_id("Service::try_submit", req.id, ids_);
+  if (stop_) return std::nullopt;
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return resolved_error_future(std::make_exception_ptr(UnknownModelError(
+        "Service::try_submit: unknown model \"" + name + "\"")));
+  }
+  EnginePool* pool = pools_[it->second].get();
+  validate_request_shape("Service::try_submit", req.hidden, pool->hidden());
+  // Two-phase id reservation, like EnginePool::try_submit: reserve the
+  // service-wide id only once the pool accepted, so a declined caller-
+  // supplied id can be resubmitted. Holding the service lock across the
+  // pool call is safe — the whole chain below is non-blocking, and pool
+  // locks are always taken after the service's, never the reverse. The
+  // hand-off cannot stall other models' blocking submits either: those
+  // release the service lock before their (blocking) pool hand-off.
+  const RequestId id = req.id >= 0 ? req.id : ids_.next();
+  if (id == std::numeric_limits<RequestId>::max()) {
+    throw std::invalid_argument("Service: request id space exhausted");
+  }
+  req.id = id;
+  auto fut = pool->try_submit(std::move(req));
+  if (fut.has_value()) ids_.mark(id);
+  return fut;
 }
 
 void Service::stop() {

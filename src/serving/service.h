@@ -61,12 +61,9 @@
 
 namespace bt::serving {
 
-// submit() resolved the request's model name against the registry and found
-// nothing. Delivered through the returned future, not thrown.
-class UnknownModelError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// UnknownModelError (resolved into the returned future when Request::model
+// names nothing) now lives in serving/error.h with the rest of the typed
+// serving errors and their stable ErrorCodes.
 
 struct ServiceOptions {
   // The model serving requests without Request::model. Empty = the first
@@ -91,6 +88,16 @@ class Service {
   // while the chosen replica's queue is full.
   std::future<Response> submit(Request req);
   std::future<Response> submit(Tensor<fp16_t> hidden);
+
+  // Non-blocking variant — the submission path of callers that must never
+  // block on a full replica queue (the wire front-end's event loop).
+  // Returns std::nullopt when the routed replica's queue is full or the
+  // service is stopped (the backpressure signal, same contract as
+  // EnginePool/AsyncEngine::try_submit); programming errors still throw,
+  // and an unknown model still comes back as an engaged future already
+  // resolved with UnknownModelError. A declined request burns no service-
+  // wide id — the same id can be resubmitted on retry.
+  std::optional<std::future<Response>> try_submit(Request req);
 
   // Stops every model's pool in registration order (each drains: all
   // accepted futures resolve). Idempotent.
