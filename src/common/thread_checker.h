@@ -1,0 +1,75 @@
+// LoopThreadChecker — "runs only on thread X" as a checked capability.
+//
+// Some invariants in the net tier are not lock-shaped: net::Server's
+// per-connection decoders and write queues are touched by exactly one
+// thread (the event loop), so they need no mutex at all — but that
+// discipline lived entirely in comments. This class turns it into a
+// capability the thread safety analysis tracks AND a debug-build runtime
+// check:
+//
+//   struct Impl {
+//     LoopThreadChecker loop_thread;
+//     std::unordered_map<...> conns BT_GUARDED_BY(loop_thread);
+//     void accept_new() BT_REQUIRES(loop_thread);
+//   };
+//
+//   void loop() {
+//     loop_thread.attach();   // binds + asserts the capability
+//     ...accept_new();        // analysis: ok. other callers: error.
+//   }
+//
+// attach()/assert_held() are BT_ASSERT_CAPABILITY: they promise the
+// capability to the analysis and back the promise with an assert() on the
+// bound thread id — so a refactor that moves a loop-only call onto another
+// thread fails the clang -Wthread-safety build if the analysis can see it,
+// and aborts a debug run if it cannot.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "common/annotations.h"
+
+namespace bt {
+
+class BT_CAPABILITY("thread role") LoopThreadChecker {
+ public:
+  LoopThreadChecker() = default;
+  LoopThreadChecker(const LoopThreadChecker&) = delete;
+  LoopThreadChecker& operator=(const LoopThreadChecker&) = delete;
+
+  // Binds the checker to the calling thread. Called once at the top of the
+  // owning thread's main function; re-attaching from the same thread is a
+  // no-op, from another thread a (debug) assertion failure.
+  void attach() BT_ASSERT_CAPABILITY(this) {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_relaxed)) {
+      assert(expected == self && "LoopThreadChecker: re-attach from another thread");
+    }
+  }
+
+  // Debug-asserts the caller is the attached thread and tells the analysis
+  // the capability is held — the entry point for callbacks that are
+  // documented loop-thread-only but reached through code the analysis
+  // cannot follow.
+  void assert_held() const BT_ASSERT_CAPABILITY(this) {
+    assert(owner_.load(std::memory_order_relaxed) ==
+               std::this_thread::get_id() &&
+           "LoopThreadChecker: called off the owning thread");
+  }
+
+  // True when the calling thread is the attached one (for release-build
+  // diagnostics; prefer assert_held()).
+  bool on_owner_thread() const {
+    return owner_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace bt

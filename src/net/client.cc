@@ -66,11 +66,11 @@ std::uint64_t Client::send_frame(const WireRequest& req, PendingOp op) {
   // Register before writing: the response can arrive on the receiver
   // thread before the sender returns.
   {
-    std::lock_guard lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     pending_.emplace(correlation, std::move(op));
   }
   {
-    std::lock_guard lock(write_mutex_);
+    MutexLock lock(write_mutex_);
     while (!wire.empty()) {
       const ssize_t n =
           ::send(fd_, wire.data(), wire.size(), MSG_NOSIGNAL);
@@ -122,7 +122,7 @@ void Client::receive_loop() {
       PendingOp op;
       bool found = false;
       {
-        std::lock_guard lock(pending_mutex_);
+        MutexLock lock(pending_mutex_);
         auto it = pending_.find(rf.correlation);
         if (it != pending_.end()) {
           op = std::move(it->second);
@@ -178,7 +178,7 @@ void Client::receive_loop() {
 void Client::fail_pending(const std::string& why) {
   std::unordered_map<std::uint64_t, PendingOp> orphans;
   {
-    std::lock_guard lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     orphans.swap(pending_);
   }
   for (auto& [correlation, op] : orphans) {

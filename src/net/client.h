@@ -33,11 +33,12 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "net/protocol.h"
 #include "serving/engine.h"
 
@@ -97,19 +98,23 @@ class Client {
     std::promise<serving::Response> serving;
   };
 
-  std::uint64_t send_frame(const WireRequest& req, PendingOp op);
-  void receive_loop();
-  void fail_pending(const std::string& why);
+  std::uint64_t send_frame(const WireRequest& req, PendingOp op)
+      BT_EXCLUDES(pending_mutex_, write_mutex_);
+  void receive_loop() BT_EXCLUDES(pending_mutex_);
+  void fail_pending(const std::string& why) BT_EXCLUDES(pending_mutex_);
 
   int fd_ = -1;
   std::atomic<bool> closed_{false};
   std::thread receiver_;
   std::atomic<std::uint64_t> next_correlation_{1};
 
-  std::mutex write_mutex_;  // serializes frame writes across threads
+  Mutex write_mutex_;  // serializes frame writes across threads
 
-  std::mutex pending_mutex_;
-  std::unordered_map<std::uint64_t, PendingOp> pending_;
+  // pending_mutex_ and write_mutex_ are leaves (never nested in either
+  // order); send_frame takes them one after the other, not together.
+  Mutex pending_mutex_;
+  std::unordered_map<std::uint64_t, PendingOp> pending_
+      BT_GUARDED_BY(pending_mutex_);
   Decoder decoder_;  // receiver-thread only
 };
 

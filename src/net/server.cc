@@ -11,7 +11,6 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <future>
@@ -22,6 +21,10 @@
 #include <unordered_set>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_checker.h"
 
 namespace bt::net {
 
@@ -50,10 +53,18 @@ struct Server::Impl {
   bool started = false;
   bool stopped = false;
   std::atomic<bool> stop_flag{false};
-  std::thread loop_thread;
-  std::thread pump_thread;
+  std::thread loop_worker;
+  std::thread pump_worker;
 
   // ---- per-connection state (event-loop thread only) ----------------------
+  //
+  // "Only the event-loop thread touches sockets" is a capability, not a
+  // lock: loop() attaches loop_thread on entry, every loop-only method is
+  // BT_REQUIRES(loop_thread), and the connection map is BT_GUARDED_BY it —
+  // so a refactor that calls any of this from another thread fails the
+  // clang -Wthread-safety build, and debug builds assert the thread id.
+  LoopThreadChecker loop_thread;
+
   struct Connection {
     int fd = -1;
     std::uint64_t id = 0;
@@ -68,8 +79,9 @@ struct Server::Impl {
     Connection(int fd, std::uint64_t id, std::size_t max_frame_bytes)
         : fd(fd), id(id), decoder(max_frame_bytes) {}
   };
-  std::unordered_map<std::uint64_t, Connection> conns;
-  std::uint64_t next_conn_id = 1;
+  std::unordered_map<std::uint64_t, Connection> conns
+      BT_GUARDED_BY(loop_thread);
+  std::uint64_t next_conn_id BT_GUARDED_BY(loop_thread) = 1;
 
   // ---- completion bridge (event loop <-> pump thread) ---------------------
   struct InFlight {
@@ -84,14 +96,14 @@ struct Server::Impl {
     std::string message;        // error detail when error != kOk
     serving::Response response; // valid when error == kOk
   };
-  std::mutex pump_mutex;
-  std::condition_variable pump_cv;
-  std::vector<InFlight> inflight;
-  std::deque<Completion> completed;
-  bool pump_stop = false;
+  Mutex pump_mutex;
+  CondVar pump_cv;
+  std::vector<InFlight> inflight BT_GUARDED_BY(pump_mutex);
+  std::deque<Completion> completed BT_GUARDED_BY(pump_mutex);
+  bool pump_stop BT_GUARDED_BY(pump_mutex) = false;
 
-  mutable std::mutex stats_mutex;
-  ServerStats stats;
+  mutable Mutex stats_mutex;
+  ServerStats stats BT_GUARDED_BY(stats_mutex);
 
   // ---- socket setup -------------------------------------------------------
 
@@ -135,12 +147,12 @@ struct Server::Impl {
   // idiom as serving::replay_trace, off the event loop so socket latency
   // never couples to the scan. The 200 us poll period is noise against
   // ms-scale inference; completions reach the loop through the self-pipe.
-  void pump_loop() {
+  void pump_loop() BT_EXCLUDES(pump_mutex) {
     using namespace std::chrono_literals;
-    std::unique_lock lock(pump_mutex);
+    MutexLock lock(pump_mutex);
     while (!pump_stop) {
       if (inflight.empty()) {
-        pump_cv.wait(lock, [&] { return pump_stop || !inflight.empty(); });
+        while (!pump_stop && inflight.empty()) pump_cv.wait(pump_mutex);
         continue;
       }
       bool any_ready = false;
@@ -172,14 +184,17 @@ struct Server::Impl {
       } else {
         // wait_for releases the lock, so the event loop can add in-flight
         // entries (and stop() can interrupt) between scans.
-        pump_cv.wait_for(lock, 200us);
+        pump_cv.wait_for(pump_mutex, 200us);
       }
     }
   }
 
   // ---- event loop ---------------------------------------------------------
 
-  void loop() {
+  void loop() BT_EXCLUDES(pump_mutex, stats_mutex) {
+    // This thread IS the loop-thread capability: every loop-only method
+    // below becomes callable, and only from here.
+    loop_thread.attach();
     std::vector<pollfd> fds;
     std::vector<std::uint64_t> fd_conn;  // conn id per pollfd slot (>= 2)
     while (!stop_flag.load(std::memory_order_relaxed)) {
@@ -238,19 +253,19 @@ struct Server::Impl {
 
     for (auto& [id, conn] : conns) ::close(conn.fd);
     {
-      std::lock_guard lock(stats_mutex);
+      MutexLock lock(stats_mutex);
       stats.active_connections = 0;
     }
     conns.clear();
   }
 
-  void drain_wake_pipe() {
+  void drain_wake_pipe() BT_REQUIRES(loop_thread) {
     char sink[64];
     while (::read(wake_read_fd, sink, sizeof sink) > 0) {
     }
   }
 
-  void accept_new() {
+  void accept_new() BT_REQUIRES(loop_thread) {
     while (conns.size() < opts.max_connections) {
       const int fd =
           ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -263,25 +278,25 @@ struct Server::Impl {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       const std::uint64_t id = next_conn_id++;
       conns.emplace(id, Connection(fd, id, opts.max_frame_bytes));
-      std::lock_guard lock(stats_mutex);
+      MutexLock lock(stats_mutex);
       ++stats.accepted_connections;
       stats.active_connections = static_cast<long long>(conns.size());
     }
   }
 
-  void close_conn(std::uint64_t id) {
+  void close_conn(std::uint64_t id) BT_REQUIRES(loop_thread) {
     const auto it = conns.find(id);
     if (it == conns.end()) return;
     ::close(it->second.fd);
     conns.erase(it);
     // In-flight futures belonging to this connection stay with the pump;
     // their completions are dropped (and counted) when they surface.
-    std::lock_guard lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     stats.active_connections = static_cast<long long>(conns.size());
   }
 
   // Returns false when the connection must be closed.
-  bool handle_readable(Connection& conn) {
+  bool handle_readable(Connection& conn) BT_REQUIRES(loop_thread) {
     for (;;) {
       std::byte* dst = conn.decoder.buffer().reserve(kRecvChunk);
       const ssize_t n = ::recv(conn.fd, dst, kRecvChunk, 0);
@@ -307,12 +322,12 @@ struct Server::Impl {
         // Unframeable bytes — or a response frame, which only servers
         // send. Either way the stream is garbage: drop the connection,
         // keep the loop.
-        std::lock_guard lock(stats_mutex);
+        MutexLock lock(stats_mutex);
         ++stats.protocol_errors;
         return false;
       }
       if (!handle_submit(conn, frame.submit)) {
-        std::lock_guard lock(stats_mutex);
+        MutexLock lock(stats_mutex);
         ++stats.protocol_errors;
         return false;
       }
@@ -320,9 +335,10 @@ struct Server::Impl {
   }
 
   // Returns false on a protocol violation (caller closes the connection).
-  bool handle_submit(Connection& conn, const SubmitFrame& f) {
+  bool handle_submit(Connection& conn, const SubmitFrame& f)
+      BT_REQUIRES(loop_thread) {
     {
-      std::lock_guard lock(stats_mutex);
+      MutexLock lock(stats_mutex);
       ++stats.frames_received;
     }
     // A token matrix with no rows (or no columns) can never be a valid
@@ -370,7 +386,7 @@ struct Server::Impl {
                   shutdown ? "service is stopped"
                            : "replica queue full; retry");
       if (!shutdown) {
-        std::lock_guard lock(stats_mutex);
+        MutexLock lock(stats_mutex);
         ++stats.backpressure_replies;
       }
       return true;
@@ -378,7 +394,7 @@ struct Server::Impl {
 
     conn.inflight.insert(f.correlation);
     {
-      std::lock_guard lock(pump_mutex);
+      MutexLock lock(pump_mutex);
       inflight.push_back({conn.id, f.correlation, std::move(*fut)});
     }
     pump_cv.notify_one();
@@ -386,27 +402,28 @@ struct Server::Impl {
   }
 
   void queue_error(Connection& conn, std::uint64_t correlation,
-                   serving::ErrorCode code, std::string_view message) {
+                   serving::ErrorCode code, std::string_view message)
+      BT_REQUIRES(loop_thread) {
     ResponseFrame f;
     f.correlation = correlation;
     f.error = code;
     f.message = message;
     encode_response(conn.out, f);
-    std::lock_guard lock(stats_mutex);
+    MutexLock lock(stats_mutex);
     ++stats.error_frames_sent;
   }
 
-  void process_completions() {
+  void process_completions() BT_REQUIRES(loop_thread) {
     std::deque<Completion> batch;
     {
-      std::lock_guard lock(pump_mutex);
+      MutexLock lock(pump_mutex);
       batch.swap(completed);
     }
     std::vector<std::uint64_t> dead;
     for (Completion& c : batch) {
       const auto it = conns.find(c.conn_id);
       if (it == conns.end()) {
-        std::lock_guard lock(stats_mutex);
+        MutexLock lock(stats_mutex);
         ++stats.dropped_completions;
         continue;
       }
@@ -423,7 +440,7 @@ struct Server::Impl {
         f.cols = static_cast<std::uint32_t>(c.response.output.dim(1));
         f.tokens = reinterpret_cast<const std::byte*>(c.response.output.data());
         encode_response(conn.out, f);
-        std::lock_guard lock(stats_mutex);
+        MutexLock lock(stats_mutex);
         ++stats.responses_sent;
       } else {
         queue_error(conn, c.correlation, c.error, c.message);
@@ -439,7 +456,7 @@ struct Server::Impl {
   }
 
   // Returns false when the connection must be closed.
-  bool flush_writes(Connection& conn) {
+  bool flush_writes(Connection& conn) BT_REQUIRES(loop_thread) {
     while (!conn.out.empty()) {
       const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
                                MSG_NOSIGNAL);
@@ -471,30 +488,30 @@ Server::Server(serving::Service& service, ServerOptions opts)
 Server::~Server() { stop(); }
 
 void Server::start() {
-  std::lock_guard lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (impl_ != nullptr) {
     throw std::runtime_error("net::Server: start() called twice");
   }
   auto impl = std::make_unique<Impl>(service_, opts_);
   impl->open_sockets();
   impl->started = true;
-  impl->pump_thread = std::thread([i = impl.get()] { i->pump_loop(); });
-  impl->loop_thread = std::thread([i = impl.get()] { i->loop(); });
+  impl->pump_worker = std::thread([i = impl.get()] { i->pump_loop(); });
+  impl->loop_worker = std::thread([i = impl.get()] { i->loop(); });
   impl_ = std::move(impl);
 }
 
 void Server::stop() {
-  std::lock_guard lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (impl_ == nullptr || impl_->stopped) return;
   impl_->stop_flag.store(true);
   impl_->wake();
   {
-    std::lock_guard plock(impl_->pump_mutex);
+    MutexLock plock(impl_->pump_mutex);
     impl_->pump_stop = true;
   }
   impl_->pump_cv.notify_all();
-  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
-  if (impl_->pump_thread.joinable()) impl_->pump_thread.join();
+  if (impl_->loop_worker.joinable()) impl_->loop_worker.join();
+  if (impl_->pump_worker.joinable()) impl_->pump_worker.join();
   ::close(impl_->listen_fd);
   ::close(impl_->wake_read_fd);
   ::close(impl_->wake_write_fd);
@@ -502,12 +519,12 @@ void Server::stop() {
 }
 
 bool Server::running() const {
-  std::lock_guard lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   return impl_ != nullptr && impl_->started && !impl_->stopped;
 }
 
 std::uint16_t Server::port() const {
-  std::lock_guard lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (impl_ == nullptr) {
     throw std::runtime_error("net::Server: port() before start()");
   }
@@ -515,9 +532,9 @@ std::uint16_t Server::port() const {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (impl_ == nullptr) return {};
-  std::lock_guard slock(impl_->stats_mutex);
+  MutexLock slock(impl_->stats_mutex);
   return impl_->stats;
 }
 

@@ -51,8 +51,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "net/protocol.h"
 #include "serving/service.h"
 
@@ -95,27 +96,30 @@ class Server {
   // Binds 127.0.0.1:port, starts listening, and spawns the event-loop and
   // completion threads. Throws std::runtime_error when the socket setup
   // fails (port in use, fd exhaustion). Not restartable after stop().
-  void start();
+  void start() BT_EXCLUDES(lifecycle_mutex_);
 
   // Closes the listener and every connection, joins both threads.
   // Idempotent, safe from any thread.
-  void stop();
+  void stop() BT_EXCLUDES(lifecycle_mutex_);
 
-  bool running() const;
+  bool running() const BT_EXCLUDES(lifecycle_mutex_);
 
   // The bound port — the kernel's pick when options().port was 0. Valid
   // after start().
-  std::uint16_t port() const;
+  std::uint16_t port() const BT_EXCLUDES(lifecycle_mutex_);
 
-  ServerStats stats() const;
+  ServerStats stats() const BT_EXCLUDES(lifecycle_mutex_);
   const ServerOptions& options() const { return opts_; }
 
  private:
   struct Impl;  // sockets, poll loop, completion pump (server.cc)
   serving::Service& service_;
   ServerOptions opts_;
-  std::unique_ptr<Impl> impl_;
-  mutable std::mutex lifecycle_mutex_;  // start/stop serialization
+  // The Impl pointer is lifecycle-guarded; the loop and pump threads hold
+  // raw Impl*s captured at start(), whose internals carry their own
+  // contracts (loop-thread capability, pump/stats mutexes — server.cc).
+  std::unique_ptr<Impl> impl_ BT_GUARDED_BY(lifecycle_mutex_);
+  mutable Mutex lifecycle_mutex_;  // start/stop serialization
 };
 
 }  // namespace bt::net

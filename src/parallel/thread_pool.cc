@@ -53,7 +53,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -74,7 +74,7 @@ void ThreadPool::work_on_job(Job& job, int worker_index) {
     if (job.done.fetch_add(end - begin, std::memory_order_acq_rel) + (end - begin) >= n) {
       // Last chunk: wake the submitter. Lock/unlock pairs with the
       // submitter's predicate check so the notify cannot be lost.
-      { std::lock_guard lock(mutex_); }
+      { MutexLock lock(mutex_); }
       cv_done_.notify_all();
     }
   }
@@ -85,8 +85,10 @@ void ThreadPool::worker_loop(int worker_index) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lock(mutex_);
+      // Explicit wait loop (not a predicate lambda) so the analysis can see
+      // the guarded reads happen with mutex_ held.
+      while (!shutdown_ && epoch_ == seen_epoch) cv_start_.wait(mutex_);
       if (shutdown_) return;
       seen_epoch = epoch_;
       job = current_;
@@ -121,7 +123,7 @@ void ThreadPool::run(std::int64_t num_tasks, std::int64_t chunk,
   // single-task fast paths serialize too: they run as worker 0, and two
   // jobs executing as worker 0 at once would race any worker-indexed state
   // (e.g. Device's per-worker scratch arenas).
-  std::lock_guard submit_lock(submit_mutex_);
+  MutexLock submit_lock(submit_mutex_);
   if (num_workers_ == 1 || num_tasks == 1) {
     run_inline(num_tasks, fn, /*worker_index=*/0);
     return;
@@ -131,16 +133,16 @@ void ThreadPool::run(std::int64_t num_tasks, std::int64_t chunk,
   job->chunk = chunk;
   job->fn = &fn;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     current_ = job;
     ++epoch_;
   }
   cv_start_.notify_all();
   work_on_job(*job, /*worker_index=*/0);
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [&] {
-    return job->done.load(std::memory_order_acquire) >= num_tasks;
-  });
+  MutexLock lock(mutex_);
+  while (job->done.load(std::memory_order_acquire) < num_tasks) {
+    cv_done_.wait(mutex_);
+  }
   // Tasks all returned; stragglers may still hold the shared_ptr but can
   // only observe an exhausted counter.
   current_.reset();

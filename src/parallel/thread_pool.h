@@ -8,13 +8,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace bt::par {
 
@@ -44,7 +45,8 @@ class ThreadPool {
   // pool A) also inlines; a cycle between two pools spanning *different*
   // worker threads is not detectable and must be avoided by callers.
   void run(std::int64_t num_tasks, std::int64_t chunk,
-           const std::function<void(std::int64_t, int)>& fn);
+           const std::function<void(std::int64_t, int)>& fn)
+      BT_EXCLUDES(submit_mutex_, mutex_);
 
   // Convenience: parallel loop over [begin, end) with grain-size chunking.
   template <typename F>
@@ -67,8 +69,8 @@ class ThreadPool {
     std::atomic<std::int64_t> done{0};
   };
 
-  void worker_loop(int worker_index);
-  void work_on_job(Job& job, int worker_index);
+  void worker_loop(int worker_index) BT_EXCLUDES(mutex_);
+  void work_on_job(Job& job, int worker_index) BT_EXCLUDES(mutex_);
   void run_inline(std::int64_t num_tasks,
                   const std::function<void(std::int64_t, int)>& fn,
                   int worker_index);
@@ -78,15 +80,17 @@ class ThreadPool {
 
   // Serializes external submitters: exactly one job owns current_/epoch_ at
   // a time, so a second concurrent run() waits instead of clobbering the
-  // first job's slot.
-  std::mutex submit_mutex_;
+  // first job's slot. Always acquired before mutex_ (run() holds it across
+  // the whole job while mutex_ is taken and dropped inside); the analysis
+  // enforces the ordering.
+  Mutex submit_mutex_ BT_ACQUIRED_BEFORE(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::shared_ptr<Job> current_;  // guarded by mutex_
-  std::uint64_t epoch_ = 0;       // guarded by mutex_
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  std::shared_ptr<Job> current_ BT_GUARDED_BY(mutex_);
+  std::uint64_t epoch_ BT_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ BT_GUARDED_BY(mutex_) = false;
 };
 
 // Process-wide pool shared by the default Device.

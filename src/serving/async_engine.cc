@@ -43,14 +43,13 @@ std::future<Response> AsyncEngine::enqueue_reserved_locked(Request&& req,
 }
 
 std::future<Response> AsyncEngine::submit(Request req) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   // Same contract as Engine::submit, enforced here because the throw must
   // reach the submitting thread, not the scheduler. Validate before the
   // backpressure wait so a malformed request throws immediately instead of
   // blocking behind a full queue first.
   validate_request("AsyncEngine::submit", req.hidden, hidden(), req.id, ids_);
-  cv_space_.wait(lock,
-                 [&] { return stop_ || queue_.size() < opts_.max_queue; });
+  while (!stop_ && queue_.size() >= opts_.max_queue) cv_space_.wait(mutex_);
   if (stop_) {
     throw ShutdownError("AsyncEngine::submit: engine is stopped");
   }
@@ -70,7 +69,7 @@ std::future<Response> AsyncEngine::submit(Tensor<fp16_t> hidden) {
 }
 
 std::optional<std::future<Response>> AsyncEngine::try_submit(Request req) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   // Programming errors throw even when the request would be declined —
   // otherwise a malformed request looks like transient backpressure while
   // the queue happens to be full, and only throws once it drains. The lock
@@ -83,7 +82,7 @@ std::optional<std::future<Response>> AsyncEngine::try_submit(Request req) {
 
 void AsyncEngine::stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -91,27 +90,27 @@ void AsyncEngine::stop() {
   // Concurrent stop() calls both reach here; the join mutex makes the
   // joinable-check-then-join atomic (the loser sees joinable() == false and
   // returns once the winner's join completed, i.e. after the drain).
-  std::lock_guard jlock(join_mutex_);
+  MutexLock jlock(join_mutex_);
   if (scheduler_.joinable()) scheduler_.join();
 }
 
 bool AsyncEngine::stopped() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stop_;
 }
 
 std::size_t AsyncEngine::pending() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size() + in_flight_;
 }
 
 long long AsyncEngine::pending_tokens() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queued_tokens_ + in_flight_tokens_;
 }
 
 EngineStats AsyncEngine::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -165,9 +164,9 @@ bool AsyncEngine::round_available_locked() const {
 }
 
 void AsyncEngine::scheduler_loop() {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) cv_work_.wait(mutex_);
     if (queue_.empty()) {
       if (stop_) break;
       continue;
@@ -190,7 +189,7 @@ void AsyncEngine::scheduler_loop() {
           close = std::min(close, earliest_deadline_locked() - window);
         }
         if (Clock::now() >= close) break;
-        cv_work_.wait_until(lock, close);
+        cv_work_.wait_until(mutex_, close);
       }
       if (queue_.empty()) continue;  // unreachable today; defensive
     }

@@ -58,16 +58,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "serving/engine.h"
 
 namespace bt::serving {
@@ -101,30 +101,31 @@ class AsyncEngine {
   // Blocks while the queue is full. Throws std::invalid_argument on a
   // malformed tensor or duplicate caller-supplied id (same contract as
   // Engine::submit), std::runtime_error after stop().
-  std::future<Response> submit(Request req);
-  std::future<Response> submit(Tensor<fp16_t> hidden);
+  std::future<Response> submit(Request req) BT_EXCLUDES(mutex_);
+  std::future<Response> submit(Tensor<fp16_t> hidden) BT_EXCLUDES(mutex_);
 
   // Non-blocking variant: std::nullopt when the queue is full or the engine
   // is stopped (backpressure signal); malformed requests still throw.
-  std::optional<std::future<Response>> try_submit(Request req);
+  std::optional<std::future<Response>> try_submit(Request req)
+      BT_EXCLUDES(mutex_);
 
   // Drains accepted requests, resolves their futures, joins the scheduler.
   // Idempotent; safe to call concurrently with submitters (their blocked
   // submit() calls wake and throw).
-  void stop();
+  void stop() BT_EXCLUDES(mutex_, join_mutex_);
 
-  bool stopped() const;
+  bool stopped() const BT_EXCLUDES(mutex_);
 
   // Requests accepted but not yet responded to (queued + in flight).
-  std::size_t pending() const;
+  std::size_t pending() const BT_EXCLUDES(mutex_);
 
   // Valid tokens (rows) of those pending requests — the load metric the
   // EnginePool's least-outstanding-tokens router balances on.
-  long long pending_tokens() const;
+  long long pending_tokens() const BT_EXCLUDES(mutex_);
 
   // Snapshot of the inner engine's cumulative accounting as of the last
   // completed round.
-  EngineStats stats() const;
+  EngineStats stats() const BT_EXCLUDES(mutex_);
 
   const core::BertModel& model() const { return engine_.model(); }
   const AsyncEngineOptions& options() const { return opts_; }
@@ -142,34 +143,44 @@ class AsyncEngine {
     std::optional<std::string> session;
   };
 
-  std::future<Response> enqueue_reserved_locked(Request&& req, RequestId id);
+  std::future<Response> enqueue_reserved_locked(Request&& req, RequestId id)
+      BT_REQUIRES(mutex_);
   // Queue indices in admission order: identity (FIFO) while no queued
   // request has a deadline, else earliest-deadline-first with queue
   // position as the stable tie-break (deadline-less requests last).
-  std::vector<std::size_t> admission_order_locked() const;
-  Deadline earliest_deadline_locked() const;  // requires deadline_count_ > 0
-  bool round_available_locked() const;
-  void scheduler_loop();
+  std::vector<std::size_t> admission_order_locked() const BT_REQUIRES(mutex_);
+  Deadline earliest_deadline_locked() const  // requires deadline_count_ > 0
+      BT_REQUIRES(mutex_);
+  bool round_available_locked() const BT_REQUIRES(mutex_);
+  void scheduler_loop() BT_EXCLUDES(mutex_);
 
   AsyncEngineOptions opts_;
   Engine engine_;  // owned by the scheduler thread once it starts
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_work_;   // scheduler: work arrived / stop
-  std::condition_variable cv_space_;  // submitters: queue has room / stop
-  std::deque<Queued> queue_;          // guarded by mutex_
-  std::size_t deadline_count_ = 0;    // queued requests carrying a deadline
-  long long queued_tokens_ = 0;       // valid tokens sitting in queue_
-  std::size_t in_flight_ = 0;         // popped, promises not yet fulfilled
-  long long in_flight_tokens_ = 0;    // their valid tokens
-  RequestIdTracker ids_;
-  EngineStats stats_;                 // snapshot, updated per round
-  long long deadline_met_ = 0;        // resolved before its deadline
-  long long deadline_missed_ = 0;     // computed, resolved after its deadline
-  long long deadline_shed_ = 0;       // deadline passed before compute
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_work_;   // scheduler: work arrived / stop
+  CondVar cv_space_;  // submitters: queue has room / stop
+  std::deque<Queued> queue_ BT_GUARDED_BY(mutex_);
+  // Queued requests carrying a deadline.
+  std::size_t deadline_count_ BT_GUARDED_BY(mutex_) = 0;
+  // Valid tokens sitting in queue_.
+  long long queued_tokens_ BT_GUARDED_BY(mutex_) = 0;
+  // Popped, promises not yet fulfilled — and their valid tokens.
+  std::size_t in_flight_ BT_GUARDED_BY(mutex_) = 0;
+  long long in_flight_tokens_ BT_GUARDED_BY(mutex_) = 0;
+  RequestIdTracker ids_ BT_GUARDED_BY(mutex_);
+  EngineStats stats_ BT_GUARDED_BY(mutex_);  // snapshot, updated per round
+  // Deadline accounting: resolved before its deadline / computed but
+  // resolved after / deadline passed before compute.
+  long long deadline_met_ BT_GUARDED_BY(mutex_) = 0;
+  long long deadline_missed_ BT_GUARDED_BY(mutex_) = 0;
+  long long deadline_shed_ BT_GUARDED_BY(mutex_) = 0;
+  bool stop_ BT_GUARDED_BY(mutex_) = false;
 
-  std::mutex join_mutex_;  // serializes the joinable-check/join in stop()
+  // Serializes the joinable-check/join in stop(). Never held together with
+  // mutex_ (stop() drops mutex_ before joining — the scheduler needs it to
+  // drain).
+  Mutex join_mutex_;
   std::thread scheduler_;  // started last, joined by stop()
 };
 

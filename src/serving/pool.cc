@@ -96,8 +96,8 @@ EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
   return decision;
 }
 
-void EnginePool::finish_hand_off(const RouteDecision& d, long long tokens) {
-  std::lock_guard lock(mutex_);
+void EnginePool::settle_hand_off_locked(const RouteDecision& d,
+                                        long long tokens) {
   Routed& acct = routed_[d.target];
   acct.in_transit_requests -= 1;
   acct.in_transit_tokens -= tokens;
@@ -105,6 +105,11 @@ void EnginePool::finish_hand_off(const RouteDecision& d, long long tokens) {
   // requests that actually landed: the load it saw plus the one it placed.
   acct.peak_outstanding =
       std::max(acct.peak_outstanding, d.seen_outstanding + 1);
+}
+
+void EnginePool::finish_hand_off(const RouteDecision& d, long long tokens) {
+  MutexLock lock(mutex_);
+  settle_hand_off_locked(d, tokens);
 }
 
 void EnginePool::undo_route(const RouteDecision& d, long long tokens) {
@@ -125,7 +130,7 @@ std::future<Response> EnginePool::submit(Request req) {
   RouteDecision decision;
   const long long tokens = req.hidden.dim(0);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) {
       throw ShutdownError("EnginePool::submit: pool is stopped");
     }
@@ -144,7 +149,7 @@ std::future<Response> EnginePool::submit(Request req) {
     finish_hand_off(decision, tokens);
     return fut;
   } catch (...) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     undo_route(decision, tokens);
     throw;
   }
@@ -155,7 +160,7 @@ std::future<Response> EnginePool::submit(Tensor<fp16_t> hidden) {
 }
 
 std::optional<std::future<Response>> EnginePool::try_submit(Request req) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   // Same contract as AsyncEngine::try_submit: programming errors throw even
   // when the request would be declined.
   validate_request("EnginePool::try_submit", req.hidden, hidden(), req.id,
@@ -177,11 +182,7 @@ std::optional<std::future<Response>> EnginePool::try_submit(Request req) {
   auto fut = engines_[decision.target]->try_submit(std::move(req));
   if (fut.has_value()) {
     ids_.mark(id);
-    Routed& acct = routed_[decision.target];
-    acct.in_transit_requests -= 1;
-    acct.in_transit_tokens -= tokens;
-    acct.peak_outstanding =
-        std::max(acct.peak_outstanding, decision.seen_outstanding + 1);
+    settle_hand_off_locked(decision, tokens);
   } else {
     undo_route(decision, tokens);
   }
@@ -190,7 +191,7 @@ std::optional<std::future<Response>> EnginePool::try_submit(Request req) {
 
 void EnginePool::stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   // Outside the pool lock: each replica's stop() drains and joins, and
@@ -199,7 +200,7 @@ void EnginePool::stop() {
 }
 
 bool EnginePool::stopped() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stop_;
 }
 
@@ -222,19 +223,19 @@ EngineStats EnginePool::stats() const {
 }
 
 EnginePool::SessionRouteStats EnginePool::session_route_stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return sessions_;
 }
 
 std::optional<std::size_t> EnginePool::pinned_replica(
     std::string_view session) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return router_->pinned(session);
 }
 
 std::vector<EnginePool::ReplicaStats> EnginePool::replica_stats() const {
   std::vector<ReplicaStats> out(engines_.size());
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t i = 0; i < engines_.size(); ++i) {
     out[i].engine = engines_[i]->stats();
     out[i].routed_requests = routed_[i].requests;

@@ -45,12 +45,13 @@
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "serving/async_engine.h"
 #include "serving/router.h"
 
@@ -93,20 +94,21 @@ class EnginePool {
   // the chosen replica's queue is full. Throws std::invalid_argument on a
   // malformed tensor or duplicate caller-supplied id (pool-wide contract),
   // std::runtime_error after stop().
-  std::future<Response> submit(Request req);
-  std::future<Response> submit(Tensor<fp16_t> hidden);
+  std::future<Response> submit(Request req) BT_EXCLUDES(mutex_);
+  std::future<Response> submit(Tensor<fp16_t> hidden) BT_EXCLUDES(mutex_);
 
   // Non-blocking variant: routes, then asks the chosen replica; returns
   // std::nullopt when that replica's queue is full or the pool is stopped.
   // It does not shop around — a declined request re-enters routing on the
   // caller's retry, when the loads have moved.
-  std::optional<std::future<Response>> try_submit(Request req);
+  std::optional<std::future<Response>> try_submit(Request req)
+      BT_EXCLUDES(mutex_);
 
   // Stops every replica (each drains: all accepted futures resolve), in
   // replica order. Idempotent.
-  void stop();
+  void stop() BT_EXCLUDES(mutex_);
 
-  bool stopped() const;
+  bool stopped() const BT_EXCLUDES(mutex_);
 
   std::size_t replicas() const { return engines_.size(); }
   std::size_t pending() const;        // across replicas
@@ -122,7 +124,7 @@ class EnginePool {
     long long routed_tokens = 0;      // their valid rows
     std::size_t peak_outstanding = 0; // max outstanding seen at routing time
   };
-  std::vector<ReplicaStats> replica_stats() const;
+  std::vector<ReplicaStats> replica_stats() const BT_EXCLUDES(mutex_);
 
   // Sticky-session routing accounting: how many accepted requests carried a
   // session id, and how many of those landed on an already-pinned replica
@@ -131,11 +133,12 @@ class EnginePool {
     long long session_requests = 0;
     long long sticky_hits = 0;
   };
-  SessionRouteStats session_route_stats() const;
+  SessionRouteStats session_route_stats() const BT_EXCLUDES(mutex_);
 
   // The replica `session` is pinned to under RoutePolicy::kStickySession
   // (std::nullopt for unseen sessions or non-pinning policies).
-  std::optional<std::size_t> pinned_replica(std::string_view session) const;
+  std::optional<std::size_t> pinned_replica(std::string_view session) const
+      BT_EXCLUDES(mutex_);
 
   const core::BertModel& model() const { return engines_.front()->model(); }
   // Read-only view of one replica (observability + the shared-weights
@@ -156,17 +159,29 @@ class EnginePool {
   // replica's own pending() (the hand-off happens outside the pool lock):
   // without it, a concurrent burst would see every replica at zero and
   // tie-break onto replica 0. Callers must settle the in-transit charge via
-  // finish_hand_off / undo_route. Runs under mutex_.
-  RouteDecision route_and_account(const Request& req);
-  void finish_hand_off(const RouteDecision& d, long long tokens);  // accepted
-  void undo_route(const RouteDecision& d, long long tokens);  // declined/threw
+  // finish_hand_off (which re-acquires the lock after the hand-off) or
+  // undo_route / settle_hand_off_locked (still under it).
+  RouteDecision route_and_account(const Request& req) BT_REQUIRES(mutex_);
+  // Clears the in-transit charge and records the queue-depth high-water
+  // mark for a request that landed on its replica.
+  void settle_hand_off_locked(const RouteDecision& d, long long tokens)
+      BT_REQUIRES(mutex_);
+  void finish_hand_off(const RouteDecision& d, long long tokens)  // accepted
+      BT_EXCLUDES(mutex_);
+  void undo_route(const RouteDecision& d, long long tokens)  // declined/threw
+      BT_REQUIRES(mutex_);
 
   EnginePoolOptions opts_;
   std::vector<std::unique_ptr<AsyncEngine>> engines_;
 
-  mutable std::mutex mutex_;  // router state, id tracker, routing accounting
-  std::unique_ptr<Router> router_;
-  RequestIdTracker ids_;
+  // Router state, id tracker, routing accounting. Never held across a
+  // blocking replica call: submit() releases it before the hand-off, and
+  // try_submit()'s whole chain under it is non-blocking (replica locks
+  // order strictly after the pool's).
+  mutable Mutex mutex_;
+  std::unique_ptr<Router> router_ BT_GUARDED_BY(mutex_)
+      BT_PT_GUARDED_BY(mutex_);
+  RequestIdTracker ids_ BT_GUARDED_BY(mutex_);
   struct Routed {
     long long requests = 0;
     long long tokens = 0;
@@ -174,9 +189,9 @@ class EnginePool {
     long long in_transit_tokens = 0;
     std::size_t peak_outstanding = 0;
   };
-  std::vector<Routed> routed_;
-  SessionRouteStats sessions_;
-  bool stop_ = false;
+  std::vector<Routed> routed_ BT_GUARDED_BY(mutex_);
+  SessionRouteStats sessions_ BT_GUARDED_BY(mutex_);
+  bool stop_ BT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bt::serving

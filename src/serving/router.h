@@ -97,7 +97,10 @@ inline constexpr std::size_t kStickyMaxPins = 1 << 16;
 // path. Implementations must be deterministic functions of (internal
 // state, arguments) — no clocks, no randomness — so seeded traffic replays
 // to identical assignments. Routers are not thread-safe; EnginePool
-// serializes calls under its lock.
+// serializes calls under its lock — a contract the thread-safety build
+// checks, not just documents: the pool's router_ member is
+// BT_GUARDED_BY/BT_PT_GUARDED_BY its mutex (pool.h), so any call path
+// that reaches a Router without that lock fails clang -Wthread-safety.
 class Router {
  public:
   virtual ~Router() = default;

@@ -48,7 +48,7 @@ std::future<Response> Service::submit(Request req) {
       req.model.has_value() ? *req.model : default_model_;
   EnginePool* pool = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) {
       throw ShutdownError("Service::submit: service is stopped");
     }
@@ -89,7 +89,7 @@ std::future<Response> Service::submit(Tensor<fp16_t> hidden) {
 std::optional<std::future<Response>> Service::try_submit(Request req) {
   const std::string& name =
       req.model.has_value() ? *req.model : default_model_;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   // Programming errors throw even when the request would be declined (the
   // try_submit contract of every tier below).
   validate_request_shape("Service::try_submit", req.hidden, /*hidden_dim=*/-1);
@@ -121,7 +121,7 @@ std::optional<std::future<Response>> Service::try_submit(Request req) {
 
 void Service::stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   // Outside the service lock: each pool's stop() drains its replicas, and
@@ -130,7 +130,7 @@ void Service::stop() {
 }
 
 bool Service::stopped() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stop_;
 }
 

@@ -48,7 +48,6 @@
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -56,6 +55,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "serving/pool.h"
 #include "serving/registry.h"
 
@@ -86,8 +87,8 @@ class Service {
   // Dispatches the request to its model's replica group and returns the
   // future its Response resolves on (see the error contract above). Blocks
   // while the chosen replica's queue is full.
-  std::future<Response> submit(Request req);
-  std::future<Response> submit(Tensor<fp16_t> hidden);
+  std::future<Response> submit(Request req) BT_EXCLUDES(mutex_);
+  std::future<Response> submit(Tensor<fp16_t> hidden) BT_EXCLUDES(mutex_);
 
   // Non-blocking variant — the submission path of callers that must never
   // block on a full replica queue (the wire front-end's event loop).
@@ -97,12 +98,13 @@ class Service {
   // and an unknown model still comes back as an engaged future already
   // resolved with UnknownModelError. A declined request burns no service-
   // wide id — the same id can be resubmitted on retry.
-  std::optional<std::future<Response>> try_submit(Request req);
+  std::optional<std::future<Response>> try_submit(Request req)
+      BT_EXCLUDES(mutex_);
 
   // Stops every model's pool in registration order (each drains: all
   // accepted futures resolve). Idempotent.
-  void stop();
-  bool stopped() const;
+  void stop() BT_EXCLUDES(mutex_);
+  bool stopped() const BT_EXCLUDES(mutex_);
 
   const std::vector<std::string>& models() const { return registry_.names(); }
   const std::string& default_model() const { return default_model_; }
@@ -122,6 +124,10 @@ class Service {
  private:
   const EnginePool& pool_at(std::string_view model) const;
 
+  // registry_, default_model_, pools_, and index_ are written only by the
+  // constructor and immutable afterwards — concurrent submitters read them
+  // without the lock by design (the model map never changes while the
+  // service runs).
   ModelRegistry registry_;
   std::string default_model_;
   std::vector<std::unique_ptr<EnginePool>> pools_;  // registry-name order
@@ -130,9 +136,12 @@ class Service {
   std::unordered_map<std::string, std::size_t, StringKeyHash, std::equal_to<>>
       index_;
 
-  mutable std::mutex mutex_;  // service-wide id tracker + stop flag
-  RequestIdTracker ids_;
-  bool stop_ = false;
+  // Service-wide id tracker + stop flag. Ordered before every pool's lock:
+  // try_submit holds it across the (non-blocking) pool call, never the
+  // reverse.
+  mutable Mutex mutex_;
+  RequestIdTracker ids_ BT_GUARDED_BY(mutex_);
+  bool stop_ BT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bt::serving

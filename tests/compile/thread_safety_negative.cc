@@ -1,0 +1,38 @@
+// Negative half of the thread-safety compile check (CMakeLists.txt,
+// bt_check_thread_safety): an unguarded write to a BT_GUARDED_BY member.
+// This file MUST FAIL to compile under clang -Wthread-safety -Werror —
+// configure aborts with FATAL_ERROR if it compiles, because that means the
+// annotations have silently stopped rejecting the exact bug class they
+// exist to catch (e.g. the macros expanded to nothing under a compiler
+// that should support them).
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // No lock taken: under -Wthread-safety this is
+  // "writing variable 'value_' requires holding mutex 'mutex_'".
+  void add(int n) { value_ += n; }
+
+  // Correct usage alongside, so the ONLY diagnostic this file can produce
+  // is the guarded-access violation above (no unused-member noise).
+  void reset() BT_EXCLUDES(mutex_) {
+    bt::MutexLock lock(mutex_);
+    value_ = 0;
+  }
+
+ private:
+  bt::Mutex mutex_;
+  int value_ BT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  c.reset();
+  return 0;
+}

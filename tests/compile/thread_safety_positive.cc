@@ -1,0 +1,61 @@
+// Positive half of the thread-safety compile check (CMakeLists.txt,
+// bt_check_thread_safety): this translation unit uses the annotated
+// primitives exactly as the codebase does — guarded members accessed under
+// MutexLock, a lock-held helper with BT_REQUIRES, an explicit CondVar wait
+// loop, relock through the scoped lock, and a loop-thread capability — and
+// must compile CLEAN under clang -Wthread-safety -Werror. If it fails, the
+// annotation macros or wrappers are wrong, not the negative test.
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_checker.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int n) BT_EXCLUDES(mutex_) {
+    bt::MutexLock lock(mutex_);
+    value_ += n;
+    add_locked(n);
+    while (value_ < 0) cv_.wait(mutex_);
+    lock.unlock();
+    lock.lock();
+    value_ -= n;
+  }
+
+  int read() const BT_EXCLUDES(mutex_) {
+    bt::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void add_locked(int n) BT_REQUIRES(mutex_) { value_ += n; }
+
+  mutable bt::Mutex mutex_;
+  bt::CondVar cv_;
+  int value_ BT_GUARDED_BY(mutex_) = 0;
+};
+
+class Loop {
+ public:
+  void run() {
+    checker_.attach();
+    tick();
+  }
+
+ private:
+  void tick() BT_REQUIRES(checker_) { ++ticks_; }
+
+  bt::LoopThreadChecker checker_;
+  int ticks_ BT_GUARDED_BY(checker_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  Loop l;
+  l.run();
+  return c.read() == 1 ? 0 : 1;
+}

@@ -396,6 +396,65 @@ TEST(NetProtocol, RandomGarbageNeverCrashes) {
   }
 }
 
+TEST(NetProtocol, MutatedValidFramesNeverReadOutOfBounds) {
+  // Structure-aware counterpart of RandomGarbageNeverCrashes: pure random
+  // bytes almost always die at the version check, so they exercise little
+  // of the decoder. Mutants of VALID frames — single byte flips, and
+  // truncation at every prefix length — carry plausible length fields and
+  // field counts deep into the submit/response payload parsers, which is
+  // where an out-of-bounds read would hide. Run under the ASan+UBSan CI
+  // leg, this is the regression net for the adversarial decode paths: the
+  // decoder must always answer kFrame/kNeedMore/kError, never touch memory
+  // outside the fed bytes.
+  std::vector<std::vector<std::byte>> seeds;
+  seeds.push_back(bytes_of(encoded_submit(7, 3, 8)));
+  {
+    ResponseFrame r;
+    r.correlation = 9;
+    r.error = serving::ErrorCode::kOk;
+    r.model = "bert-a";
+    r.session = "s7";
+    r.replica = 2;
+    const auto tokens = make_tokens(3 * 8);
+    r.rows = 3;
+    r.cols = 8;
+    r.tokens = reinterpret_cast<const std::byte*>(tokens.data());
+    Buffer out;
+    encode_response(out, r);
+    seeds.push_back(bytes_of(out));
+  }
+
+  Rng rng(4242);
+  for (const auto& seed : seeds) {
+    // Every single-byte flip position gets several random replacement
+    // values; heap-allocated copies give ASan redzones on both ends.
+    for (std::size_t pos = 0; pos < seed.size(); ++pos) {
+      for (int variant = 0; variant < 3; ++variant) {
+        auto mutant = seed;
+        mutant[pos] = static_cast<std::byte>(rng.uniform_int(0, 255));
+        Decoder dec(4096);
+        dec.feed(mutant.data(), mutant.size());
+        Frame frame;
+        for (int step = 0; step < 8; ++step) {
+          if (dec.next(&frame) != DecodeStatus::kFrame) break;
+        }
+      }
+    }
+    // Truncation at every prefix length: the decoder must report kNeedMore
+    // (or a clean kError once the lie is visible), never read past the cut.
+    for (std::size_t cut = 0; cut < seed.size(); ++cut) {
+      Decoder dec(4096);
+      dec.feed(seed.data(), cut);
+      Frame frame;
+      const DecodeStatus status = dec.next(&frame);
+      EXPECT_NE(status, DecodeStatus::kFrame)
+          << "frame decoded from a " << cut << "-byte truncation of a "
+          << seed.size() << "-byte frame";
+    }
+  }
+  SUCCEED();
+}
+
 TEST(NetProtocol, ViewsSurviveUntilNextCall) {
   const Buffer a = encoded_submit(1, 1, 4);
   const Buffer b = encoded_submit(2, 1, 4);

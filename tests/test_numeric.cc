@@ -123,7 +123,9 @@ TEST(StageTimes, ScopeAttributesOnDestruction) {
   StageTimes times;
   {
     StageScope scope(&times, "stage");
-    volatile int sink = 0;
+    // long long: the triangular sum (~5e9) overflows int, which is UB the
+    // UBSan CI leg rejects — the burn loop must be overflow-free.
+    volatile long long sink = 0;
     for (int i = 0; i < 100000; ++i) sink = sink + i;
   }
   EXPECT_GT(times.stages().at("stage"), 0.0);

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Concurrency-hygiene lint for src/ — the grep-level complement to the
+# clang -Wthread-safety build (docs/ANALYSIS.md). Three rules:
+#
+#   1. No raw std::mutex / std::condition_variable members outside the
+#      annotated wrappers in src/common/mutex.h. Raw primitives are
+#      invisible to the thread-safety analysis; a lock the analysis cannot
+#      see is a lock it cannot check.
+#
+#   2. No `throw` in the functions that run on scheduler / event-loop /
+#      pump / worker threads. An exception escaping one of these threads is
+#      std::terminate; error delivery from them is promises and error
+#      codes, never throws.
+#
+#   3. Every file that declares a bt::Mutex member also names
+#      BT_GUARDED_BY somewhere — a mutex with no guarded members is either
+#      dead weight or (worse) guarding state the analysis doesn't know
+#      about.
+#
+# Exit 0 = clean, 1 = violations (printed per rule). Run from anywhere.
+set -u
+
+cd "$(dirname "$0")/.."
+fail=0
+
+note() { printf '%s\n' "$*"; }
+
+# ---- rule 1: raw synchronization primitives as members ----------------------
+# Member declarations look like "std::mutex name_;" (possibly mutable).
+# Local uses of std::unique_lock etc. don't match; common/mutex.h is the one
+# allowed home of the raw types.
+raw=$(grep -rnE '^[[:space:]]*(mutable[[:space:]]+)?std::(mutex|recursive_mutex|shared_mutex|condition_variable(_any)?)[[:space:]]+[A-Za-z_]' \
+      --include='*.h' --include='*.cc' src/ | grep -v '^src/common/mutex.h:')
+if [[ -n "$raw" ]]; then
+  note "rule 1: raw std::mutex/std::condition_variable member(s) outside"
+  note "src/common/mutex.h — use bt::Mutex / bt::CondVar so the"
+  note "thread-safety analysis can see the lock:"
+  note "$raw"
+  fail=1
+fi
+
+# ---- rule 2: no throw on scheduler / loop / pump / worker threads -----------
+# Extract each function's body by brace counting from its definition line
+# and grep it for throw statements. (Comments mentioning "throw" are fine;
+# only "throw " / "throw;" statements match.)
+check_nothrow() {
+  local file=$1 fn=$2
+  local body
+  body=$(awk -v fn="$fn" '
+    index($0, fn) && !found { found = 1 }
+    found {
+      print
+      n = gsub(/{/, "{"); depth += n
+      n = gsub(/}/, "}"); depth -= n
+      if (depth <= 0 && saw_open) exit
+      if (depth > 0) saw_open = 1
+    }' "$file")
+  if [[ -z "$body" ]]; then
+    note "rule 2: $fn not found in $file (lint out of date?)"
+    fail=1
+    return
+  fi
+  local throws
+  throws=$(printf '%s\n' "$body" | grep -nE '(^|[^_[:alnum:]])throw([[:space:]]|;)' \
+           | grep -vE '^\s*[0-9]+:\s*//')
+  if [[ -n "$throws" ]]; then
+    note "rule 2: throw in $fn ($file) — this function runs on a"
+    note "scheduler/loop thread; an escaping exception is std::terminate:"
+    note "$throws"
+    fail=1
+  fi
+}
+
+check_nothrow src/parallel/thread_pool.cc 'ThreadPool::worker_loop'
+check_nothrow src/parallel/thread_pool.cc 'ThreadPool::work_on_job'
+check_nothrow src/serving/async_engine.cc 'AsyncEngine::scheduler_loop'
+check_nothrow src/net/server.cc 'void loop()'
+check_nothrow src/net/server.cc 'void pump_loop()'
+check_nothrow src/net/server.cc 'void process_completions()'
+check_nothrow src/net/server.cc 'bool handle_readable('
+check_nothrow src/net/server.cc 'bool handle_submit('
+check_nothrow src/net/client.cc 'Client::receive_loop'
+
+# ---- rule 3: a bt::Mutex member implies BT_GUARDED_BY somewhere -------------
+while IFS= read -r file; do
+  [[ "$file" == src/common/mutex.h ]] && continue
+  if ! grep -q 'BT_GUARDED_BY' "$file"; then
+    note "rule 3: $file declares a bt::Mutex member but names no"
+    note "BT_GUARDED_BY — annotate what the mutex guards (or delete it)."
+    fail=1
+  fi
+done < <(grep -rlE '^[[:space:]]*(mutable[[:space:]]+)?Mutex[[:space:]]+[A-Za-z_]+_?' \
+         --include='*.h' --include='*.cc' src/)
+
+if [[ $fail -eq 0 ]]; then
+  note "lint: clean (no raw sync members, no scheduler-thread throws,"
+  note "every mutex guards annotated state)"
+fi
+exit $fail
