@@ -15,6 +15,9 @@
 #   BENCH_serving_wire.json — socket front-end overhead (BM_ServingWire):
 #                        the same trace via in-process futures (wire=0) vs
 #                        loopback TCP through net::Server (wire=1)
+#   BENCH_serving_faults.json — resilience cost (BM_ServingFaults): req/s
+#                        and p50/p99 at 0%/1%/5% injected fault rate with
+#                        retrying clients, plus frames re-sent per run
 #
 # Usage:  bench/run_perf.sh [build_dir] [out_dir]
 #   build_dir  cmake build tree holding the bench binaries  (default: build)
@@ -83,6 +86,13 @@ if [[ -x "$BUILD/bench_serving_wire" ]]; then
       --benchmark_filter='BM_ServingWire' > "$TMP/wire_default.json"
 fi
 
+# Serving faults: throughput/latency at increasing injected fault rates.
+if [[ -x "$BUILD/bench_serving_faults" ]]; then
+  echo "== bench_serving_faults" >&2
+  "$BUILD/bench_serving_faults" --benchmark_format=json \
+      --benchmark_filter='BM_ServingFaults' > "$TMP/faults_default.json"
+fi
+
 python3 - "$TMP" "$OUT" "${BT_PERF_BASELINE:-}" <<'PY'
 import json, sys, os
 
@@ -108,7 +118,7 @@ def records(path, requested):
         }
         for key in ("gflops", "tokens_s", "alpha", "pad_waste",
                     "req_s", "p50_ms", "p99_ms", "replicas", "models",
-                    "session_hit", "wire"):
+                    "session_hit", "wire", "fault_pct", "retries"):
             if key in b:
                 rec[key] = b[key]
         yield ctx, rec
@@ -156,4 +166,6 @@ merge("serving", "BENCH_serving.json", kernels=("default",))
 merge("multimodel", "BENCH_serving_multimodel.json", kernels=("default",))
 if os.path.exists(os.path.join(tmp, "wire_default.json")):
     merge("wire", "BENCH_serving_wire.json", kernels=("default",))
+if os.path.exists(os.path.join(tmp, "faults_default.json")):
+    merge("faults", "BENCH_serving_faults.json", kernels=("default",))
 PY

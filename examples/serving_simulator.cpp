@@ -33,10 +33,18 @@
 // in-flight request drains, and the final report covers exactly the
 // traffic that ran.
 //
+// With `--chaos P` a deterministic fault injector (common/fault.h) arms
+// socket-level faults — short reads/writes on both sides at probability P,
+// client connection resets and replica compute failures at P/8 — under
+// `--chaos-seed`. Wire clients then run with a retry policy (backoff,
+// reconnect), so the report shows how much of the injected damage the
+// resilience machinery absorbed (retries, reconnects, residual failures).
+//
 // Usage: serving_simulator [--replicas N] [--route rr|lor|lot|sticky]
 //                          [--requests N] [--rps X] [--models N]
 //                          [--sessions N] [--sticky] [--slo-ms X]
 //                          [--wire] [--wire-conns N]
+//                          [--chaos P] [--chaos-seed N]
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -46,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/model.h"
@@ -76,6 +85,8 @@ struct Args {
   double slo_ms = 0;  // 0 = no deadlines
   bool wire = false;  // drive the trace over loopback sockets
   int wire_conns = 4;
+  double chaos = 0;   // fault probability for the injected fault points
+  std::uint64_t chaos_seed = 42;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -83,7 +94,8 @@ struct Args {
                "usage: %s [--replicas N] [--route rr|lor|lot|sticky] "
                "[--requests N] [--rps X]\n"
                "          [--models N] [--sessions N] [--sticky] [--slo-ms X]\n"
-               "          [--wire] [--wire-conns N]\n",
+               "          [--wire] [--wire-conns N] [--chaos P] "
+               "[--chaos-seed N]\n",
                argv0);
   std::exit(2);
 }
@@ -133,6 +145,11 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(flag, "--wire-conns") == 0) {
       args.wire_conns = std::atoi(value);
       if (args.wire_conns < 1) usage(argv[0]);
+    } else if (std::strcmp(flag, "--chaos") == 0) {
+      args.chaos = std::atof(value);
+      if (args.chaos < 0 || args.chaos > 1) usage(argv[0]);
+    } else if (std::strcmp(flag, "--chaos-seed") == 0) {
+      args.chaos_seed = static_cast<std::uint64_t>(std::atoll(value));
     } else {
       usage(argv[0]);
     }
@@ -149,6 +166,25 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   const core::BertConfig cfg = core::BertConfig::bert_base().scaled(2, 2);
   Rng rng(77);
+
+  // Deterministic chaos: a seeded injector armed for the socket and compute
+  // fault points (catalog in docs/ROBUSTNESS.md). Short I/O faults at the
+  // requested rate; the destructive ones (resets, compute failures) at an
+  // eighth of it.
+  fault::Injector injector(args.chaos_seed);
+  std::unique_ptr<fault::ScopedInjector> chaos_guard;
+  if (args.chaos > 0) {
+    fault::PointConfig frequent;
+    frequent.probability = args.chaos;
+    fault::PointConfig rare;
+    rare.probability = args.chaos / 8.0;
+    injector.arm("net.server.read.short", frequent);
+    injector.arm("net.server.write.short", frequent);
+    injector.arm("net.client.write.short", frequent);
+    injector.arm("net.client.conn.reset", rare);
+    injector.arm("serving.compute.fail", rare);
+    chaos_guard = std::make_unique<fault::ScopedInjector>(injector);
+  }
 
   // One physical weight copy per registered model (each packed once); the
   // replica groups inside each model's pool alias it.
@@ -198,6 +234,13 @@ int main(int argc, char** argv) {
     std::printf("wire: loopback TCP via net::Server, %d client connection(s), "
                 "frame protocol v%d\n",
                 args.wire_conns, net::kWireVersion);
+  }
+  if (args.chaos > 0) {
+    std::printf("chaos: fault rate %.2f (resets/compute-fail %.3f), seed %llu"
+                "%s\n",
+                args.chaos, args.chaos / 8.0,
+                static_cast<unsigned long long>(args.chaos_seed),
+                args.wire ? ", retrying clients" : "");
   }
   std::printf("\n");
   // tok/ms(fwd) is compute-side throughput (valid tokens per forward-pass
@@ -255,8 +298,18 @@ int main(int argc, char** argv) {
     if (args.wire) {
       server = std::make_unique<net::Server>(service);
       server->start();
+      net::ClientOptions copts;
+      if (args.chaos > 0) {
+        // Under chaos the clients absorb injected damage: retry declined
+        // and broken requests with deterministic backoff, reconnect on
+        // connection loss.
+        copts.retry.max_attempts = 5;
+        copts.retry.initial_backoff_ms = 2.0;
+        copts.retry.seed = args.chaos_seed;
+      }
       for (int c = 0; c < args.wire_conns; ++c) {
-        clients.push_back(std::make_unique<net::Client>(server->port()));
+        clients.push_back(
+            std::make_unique<net::Client>(server->port(), copts));
       }
     }
     std::size_t next_conn = 0;
@@ -293,6 +346,12 @@ int main(int argc, char** argv) {
       }
     }
     const double total_ms = replay.last_done_seconds * 1e3;
+    net::ClientStats wire_resilience;
+    for (const auto& client : clients) {
+      const net::ClientStats cs = client->stats();
+      wire_resilience.retries += cs.retries;
+      wire_resilience.reconnects += cs.reconnects;
+    }
     // Teardown order matters: clients first (so the server sees clean
     // EOFs), then the socket front-end, then the compute tier it fronts.
     clients.clear();
@@ -322,6 +381,14 @@ int main(int argc, char** argv) {
       std::printf("  deadlines: %lld met  %lld missed  %lld shed "
                   "(%lld replay failures)\n",
                   st.deadline_met, st.deadline_missed, st.deadline_shed,
+                  replay.failures());
+    }
+    if (args.chaos > 0) {
+      std::printf("  chaos: %lld fires across %s fault points; clients "
+                  "retried %lld, reconnected %lld; %lld request(s) failed\n",
+                  injector.total_fires(),
+                  args.wire ? "socket+compute" : "compute",
+                  wire_resilience.retries, wire_resilience.reconnects,
                   replay.failures());
     }
     if (args.sessions > 0) {

@@ -1,0 +1,172 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace bt::fault {
+
+namespace {
+
+// FNV-1a: a platform-stable name hash (std::hash is implementation-defined,
+// which would make "same seed, same schedule" a per-toolchain promise).
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t split_mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from 53 hash bits — the stateless per-hit coin.
+double unit_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+void Injector::arm(const std::string& point, PointConfig cfg) {
+  MutexLock lock(mutex_);
+  Point p;
+  p.cfg = std::move(cfg);
+  p.name_seed = split_mix(seed_ ^ fnv1a(point.c_str()));
+  points_[point] = std::move(p);
+}
+
+void Injector::disarm(const std::string& point) {
+  MutexLock lock(mutex_);
+  points_.erase(point);
+}
+
+bool Injector::should_fire(const char* point, int instance) {
+  MutexLock lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  // The hit index is per (point, instance): one instance's stream is
+  // deterministic no matter how other instances interleave with it.
+  const std::uint64_t idx = p.hit_counts[instance]++;
+  ++p.hits;
+  if (p.cfg.instance != -1 && instance != p.cfg.instance) return false;
+  if (p.fires >= p.cfg.max_fires) return false;
+  bool fired = false;
+  for (const std::uint64_t at : p.cfg.fire_at) {
+    if (at == idx) {
+      fired = true;
+      break;
+    }
+  }
+  if (!fired && p.cfg.probability > 0.0) {
+    const std::uint64_t h = split_mix(
+        p.name_seed ^ split_mix(static_cast<std::uint64_t>(instance) + 1) ^
+        (idx * 0x2545F4914F6CDD1DULL));
+    fired = unit_uniform(h) < p.cfg.probability;
+  }
+  if (fired) ++p.fires;
+  return fired;
+}
+
+std::uint64_t Injector::param_of(const char* point, std::uint64_t dflt) const {
+  MutexLock lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? dflt : it->second.cfg.param;
+}
+
+PointStats Injector::stats(const std::string& point) const {
+  MutexLock lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+std::uint64_t Injector::total_fires() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, p] : points_) total += p.fires;
+  return total;
+}
+
+namespace detail {
+
+std::atomic<Injector*> g_injector{nullptr};
+
+namespace {
+
+// How many threads are currently inside a hook slow path. install(nullptr)
+// spins until this drains, which is what makes "uninstall + destroy the
+// Injector while traffic is still running" a safe teardown order.
+std::atomic<int> g_active_hooks{0};
+
+// Dekker-style pairing with install(): register the call FIRST, then
+// re-read g_injector (both seq_cst). Either this guard observes the
+// nullptr a concurrent uninstall just stored (and touches nothing), or the
+// uninstall observes this call in g_active_hooks and waits for it.
+class HookGuard {
+ public:
+  HookGuard() {
+    g_active_hooks.fetch_add(1);
+    injector_ = g_injector.load();
+  }
+  ~HookGuard() { g_active_hooks.fetch_sub(1, std::memory_order_release); }
+  HookGuard(const HookGuard&) = delete;
+  HookGuard& operator=(const HookGuard&) = delete;
+
+  Injector* injector() const { return injector_; }
+
+ private:
+  Injector* injector_ = nullptr;
+};
+
+}  // namespace
+
+void throw_injected(const char* point) {
+  throw std::runtime_error(std::string("injected fault: ") + point);
+}
+
+bool fire_slow(const char* point, int instance) {
+  HookGuard guard;
+  return guard.injector() != nullptr &&
+         guard.injector()->should_fire(point, instance);
+}
+
+void delay_slow(const char* point, int instance) {
+  std::uint64_t us = 0;
+  {
+    HookGuard guard;
+    if (guard.injector() == nullptr ||
+        !guard.injector()->should_fire(point, instance)) {
+      return;
+    }
+    us = guard.injector()->param_of(point, 0);
+  }
+  // Sleep outside the guard: an injected stall must not hold up a
+  // concurrent uninstall for its own duration.
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace detail
+
+void install(Injector* injector) {
+  detail::g_injector.store(injector);
+  if (injector == nullptr) {
+    // Quiesce: no hook call that could still see the old injector may be
+    // in flight when we return — the caller is about to destroy it.
+    while (detail::g_active_hooks.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Injector* installed() {
+  return detail::g_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace bt::fault

@@ -1,0 +1,185 @@
+// Deterministic, seeded fault injection — failure as a first-class test
+// input.
+//
+// Every layer of the serving stack assumes the happy path unless something
+// forces the other branches: short socket reads, connection resets, a
+// replica whose compute throws mid-round. This header gives those branches
+// named, *seeded* trigger points so the failure paths are exercised by
+// ordinary deterministic tests instead of waiting for production to find
+// them:
+//
+//   bt::fault::Injector inj(/*seed=*/42);
+//   bt::fault::PointConfig cfg;
+//   cfg.probability = 0.2;               // fire on ~20% of hits, seeded
+//   inj.arm("net.server.read.short", cfg);
+//   bt::fault::ScopedInjector scope(inj); // install for this test
+//   ... run traffic; the server's recv path now takes 1-byte reads ...
+//
+// Design rules:
+//
+//   * Zero cost when disabled. A fault-point hook is one relaxed atomic
+//     load and a predictable branch when no Injector is installed — cheap
+//     enough to leave compiled into production paths (the hooks ship in
+//     the real code, not a test build, so the tested binary IS the shipped
+//     binary).
+//
+//   * Deterministic per (point, instance). Each call site names its point
+//     with a string literal; sites that distinguish instances (e.g. which
+//     pool replica is computing) pass an instance index. The fire decision
+//     for hit #k of a (point, instance) stream is a pure function of
+//     (seed, point name, instance, k) — a stateless splitmix hash, no
+//     shared RNG — so the schedule replays identically however thread
+//     interleavings shuffle the global call order.
+//
+//   * Schedules, not just coin flips. PointConfig can fire at explicit hit
+//     indices (fire_at) for scripted failures ("the 3rd round on replica 0
+//     fails"), cap total fires (max_fires — "fail 3 times, then recover"),
+//     restrict to one instance, and carry a site-interpreted param (e.g.
+//     injected latency in microseconds).
+//
+//   * Installable per test. install()/ScopedInjector swap the process-wide
+//     injector; tests arm what they need and uninstall on scope exit.
+//     Uninstall quiesces: install(nullptr) blocks until no thread is
+//     inside a fault hook, so chaos can be torn down (and the Injector
+//     destroyed) while the system under test is still serving traffic —
+//     exactly how the chaos tests model recovery. arm()/disarm() are
+//     likewise safe against concurrent hits.
+//
+// Call sites use the BT_FAULT_* macros below so tools/lint.sh (rule 4) can
+// verify every named point is documented in docs/ROBUSTNESS.md:
+//
+//   BT_FAULT_POINT("net.server.read.short")        -> bool (fired?)
+//   BT_FAULT_POINT("serving.compute.fail", replica)
+//   BT_FAULT_THROW("serving.compute.fail", replica) // throws when fired
+//   BT_FAULT_DELAY("serving.compute.delay", replica) // sleeps param us
+//
+// BT_FAULT_THROW throws std::runtime_error and must only appear inside a
+// try block whose catch already handles compute failures (lint rule 2
+// still forbids naked throws on scheduler/loop threads; the macro spelling
+// does not match the lint's `throw` statement pattern precisely so that
+// guarded injection sites stay expressible).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace bt::fault {
+
+// How one named point fires. All conditions compose: a hit fires when the
+// instance filter matches AND the fire budget is not exhausted AND (its hit
+// index is listed in fire_at OR the seeded coin at `probability` lands).
+struct PointConfig {
+  double probability = 0.0;  // per-hit fire probability in [0, 1]
+  std::vector<std::uint64_t> fire_at;  // 0-based hit indices that always fire
+  std::uint64_t max_fires = ~std::uint64_t{0};  // total fire budget
+  int instance = -1;       // only fire for this instance (-1 = any)
+  std::uint64_t param = 0; // site-interpreted payload (e.g. delay in us)
+};
+
+struct PointStats {
+  std::uint64_t hits = 0;   // times an armed site was reached
+  std::uint64_t fires = 0;  // times it fired
+};
+
+// One armed fault plan. Thread-safe: points are hit from scheduler, event
+// loop, and client threads concurrently.
+class Injector {
+ public:
+  explicit Injector(std::uint64_t seed = 1) : seed_(seed) {}
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  // Arms (or re-arms, resetting counters for) a named point.
+  void arm(const std::string& point, PointConfig cfg) BT_EXCLUDES(mutex_);
+  void disarm(const std::string& point) BT_EXCLUDES(mutex_);
+
+  // The hook's slow path: counts the hit and decides whether it fires.
+  // Unarmed points never fire and are not counted. Never throws.
+  bool should_fire(const char* point, int instance) BT_EXCLUDES(mutex_);
+
+  // The armed param for a point (dflt when unarmed).
+  std::uint64_t param_of(const char* point, std::uint64_t dflt = 0) const
+      BT_EXCLUDES(mutex_);
+
+  PointStats stats(const std::string& point) const BT_EXCLUDES(mutex_);
+  std::uint64_t total_fires() const BT_EXCLUDES(mutex_);
+
+ private:
+  struct Point {
+    PointConfig cfg;
+    std::uint64_t name_seed = 0;  // splitmix(seed ^ fnv1a(name))
+    std::uint64_t fires = 0;
+    std::uint64_t hits = 0;
+    // Hit counters per call-site instance: hit index #k of one instance's
+    // stream is deterministic however instances interleave globally.
+    std::unordered_map<int, std::uint64_t> hit_counts;
+  };
+
+  std::uint64_t seed_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, Point> points_ BT_GUARDED_BY(mutex_);
+};
+
+// Process-wide installation. Passing nullptr uninstalls and BLOCKS until
+// every in-flight hook call has drained — after install(nullptr) returns,
+// no thread can still be touching the old injector, so destroying it next
+// is safe even with traffic running. The injector must outlive its
+// installation (ScopedInjector ties the two together).
+void install(Injector* injector);
+Injector* installed();
+
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(Injector& injector) { install(&injector); }
+  ~ScopedInjector() { install(nullptr); }
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+};
+
+namespace detail {
+extern std::atomic<Injector*> g_injector;
+[[noreturn]] void throw_injected(const char* point);
+// Out-of-line slow paths (fault.cc). Each registers the call in a
+// hook-liveness counter before re-reading g_injector, which is what lets
+// install(nullptr) wait out in-flight calls instead of racing them.
+bool fire_slow(const char* point, int instance);
+void delay_slow(const char* point, int instance);
+}  // namespace detail
+
+// The hooks. fire() is the universal form; maybe_throw/maybe_delay wrap the
+// two common reactions (fail the guarded compute path / stall it). The
+// inline fast path is the whole disabled cost: one acquire load, one
+// predictable branch.
+inline bool fire(const char* point, int instance = -1) {
+  if (detail::g_injector.load(std::memory_order_acquire) == nullptr) {
+    return false;
+  }
+  return detail::fire_slow(point, instance);
+}
+
+inline void maybe_throw(const char* point, int instance = -1) {
+  if (fire(point, instance)) detail::throw_injected(point);
+}
+
+inline void maybe_delay(const char* point, int instance = -1) {
+  if (detail::g_injector.load(std::memory_order_acquire) == nullptr) {
+    return;
+  }
+  detail::delay_slow(point, instance);
+}
+
+}  // namespace bt::fault
+
+// Every fault-point site goes through one of these macros with a string
+// literal name; tools/lint.sh checks each name appears in
+// docs/ROBUSTNESS.md's fault-point catalog.
+#define BT_FAULT_POINT(...) (::bt::fault::fire(__VA_ARGS__))
+#define BT_FAULT_THROW(...) (::bt::fault::maybe_throw(__VA_ARGS__))
+#define BT_FAULT_DELAY(...) (::bt::fault::maybe_delay(__VA_ARGS__))

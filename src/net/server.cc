@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/fault.h"
 #include "common/mutex.h"
 #include "common/thread_checker.h"
 
@@ -75,6 +76,13 @@ struct Server::Impl {
     // the moment its response frame is queued).
     std::unordered_set<std::uint64_t> inflight;
     bool read_closed = false;  // peer half-closed; flush, then drop
+    // Slow-peer verdict: the write queue crossed its byte cap. The
+    // connection is closed on the next loop pass — kept a flag (not an
+    // immediate close) because the verdict can land mid-iteration while
+    // the loop still holds references into the connection map.
+    bool doomed = false;
+    std::chrono::steady_clock::time_point last_read =
+        std::chrono::steady_clock::now();
 
     Connection(int fd, std::uint64_t id, std::size_t max_frame_bytes)
         : fd(fd), id(id), decoder(max_frame_bytes) {}
@@ -169,10 +177,11 @@ struct Server::Impl {
           c.error = serving::ErrorCode::kOk;
         } catch (...) {
           // Typed serving errors keep their stable code on the wire; an
-          // unexpected failure maps to kShutdown — whatever broke, this
-          // server cannot serve the request.
+          // unexpected failure maps to kInternal — this request broke, the
+          // server is still serving (kShutdown would tell a retrying
+          // client the endpoint is dead).
           c.error = serving::error_code_of(std::current_exception(),
-                                           serving::ErrorCode::kShutdown,
+                                           serving::ErrorCode::kInternal,
                                            &c.message);
         }
         completed.push_back(std::move(c));
@@ -242,6 +251,7 @@ struct Server::Impl {
           if (re & (POLLIN | POLLHUP)) alive = handle_readable(conn);
           if (alive && (re & POLLOUT)) alive = flush_writes(conn);
         }
+        if (alive && conn.doomed) alive = false;  // slow peer: disconnect
         if (alive && conn.read_closed && conn.inflight.empty() &&
             conn.out.empty()) {
           alive = false;  // drained a half-closed connection: done
@@ -249,6 +259,7 @@ struct Server::Impl {
         if (!alive) dead.push_back(conn.id);
       }
       for (std::uint64_t id : dead) close_conn(id);
+      reap_idle();
     }
 
     for (auto& [id, conn] : conns) ::close(conn.fd);
@@ -257,6 +268,29 @@ struct Server::Impl {
       stats.active_connections = 0;
     }
     conns.clear();
+  }
+
+  // Closes connections idle past opts.idle_timeout_seconds. Only fully
+  // quiet ones qualify: in-flight work or queued responses mean the peer
+  // is waiting on us, not the reverse.
+  void reap_idle() BT_REQUIRES(loop_thread) {
+    if (!(opts.idle_timeout_seconds > 0)) return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto limit =
+        std::chrono::duration<double>(opts.idle_timeout_seconds);
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, conn] : conns) {
+      if (conn.inflight.empty() && conn.out.empty() &&
+          now - conn.last_read >= limit) {
+        idle.push_back(id);
+      }
+    }
+    if (idle.empty()) return;
+    {
+      MutexLock lock(stats_mutex);
+      stats.idle_disconnects += static_cast<long long>(idle.size());
+    }
+    for (std::uint64_t id : idle) close_conn(id);
   }
 
   void drain_wake_pipe() BT_REQUIRES(loop_thread) {
@@ -297,11 +331,19 @@ struct Server::Impl {
 
   // Returns false when the connection must be closed.
   bool handle_readable(Connection& conn) BT_REQUIRES(loop_thread) {
+    if (conn.doomed) return false;
+    // Injected receive faults (docs/ROBUSTNESS.md): a reset kills this
+    // connection exactly like ECONNRESET; a short read clamps one recv to
+    // a single byte, exercising partial-frame reassembly in the decoder.
+    if (BT_FAULT_POINT("net.server.read.reset")) return false;
     for (;;) {
-      std::byte* dst = conn.decoder.buffer().reserve(kRecvChunk);
-      const ssize_t n = ::recv(conn.fd, dst, kRecvChunk, 0);
+      std::size_t want = kRecvChunk;
+      if (BT_FAULT_POINT("net.server.read.short")) want = 1;
+      std::byte* dst = conn.decoder.buffer().reserve(want);
+      const ssize_t n = ::recv(conn.fd, dst, want, 0);
       if (n > 0) {
         conn.decoder.buffer().commit(static_cast<std::size_t>(n));
+        conn.last_read = std::chrono::steady_clock::now();
         continue;
       }
       if (n == 0) {
@@ -350,6 +392,17 @@ struct Server::Impl {
       // connection survives — the frame itself was well-formed.
       queue_error(conn, f.correlation, serving::ErrorCode::kDuplicateId,
                   "correlation id already in flight on this connection");
+      return true;
+    }
+    if (opts.max_inflight_per_connection > 0 &&
+        conn.inflight.size() >= opts.max_inflight_per_connection) {
+      // Same decline a full replica queue produces: the client's retry
+      // machinery already speaks kBackpressure.
+      queue_error(conn, f.correlation, serving::ErrorCode::kBackpressure,
+                  "per-connection in-flight limit reached; retry");
+      MutexLock lock(stats_mutex);
+      ++stats.backpressure_replies;
+      ++stats.inflight_capped;
       return true;
     }
 
@@ -409,8 +462,28 @@ struct Server::Impl {
     f.error = code;
     f.message = message;
     encode_response(conn.out, f);
+    enforce_write_cap(conn);
     MutexLock lock(stats_mutex);
     ++stats.error_frames_sent;
+  }
+
+  // Applied after every frame is queued: a peer that is not draining its
+  // responses gets disconnected instead of growing server memory without
+  // bound. The verdict only counts bytes the kernel refuses to accept —
+  // one flush attempt runs first, so a healthy peer whose single response
+  // momentarily exceeds the cap is never punished for the loop's own
+  // queue-then-flush ordering.
+  void enforce_write_cap(Connection& conn) BT_REQUIRES(loop_thread) {
+    if (opts.max_write_queue_bytes == 0 || conn.doomed) return;
+    if (conn.out.size() <= opts.max_write_queue_bytes) return;
+    if (!flush_writes(conn)) {
+      conn.doomed = true;  // already dead, not slow; closed next pass
+      return;
+    }
+    if (conn.out.size() <= opts.max_write_queue_bytes) return;
+    conn.doomed = true;
+    MutexLock lock(stats_mutex);
+    ++stats.slow_peer_disconnects;
   }
 
   void process_completions() BT_REQUIRES(loop_thread) {
@@ -440,14 +513,18 @@ struct Server::Impl {
         f.cols = static_cast<std::uint32_t>(c.response.output.dim(1));
         f.tokens = reinterpret_cast<const std::byte*>(c.response.output.data());
         encode_response(conn.out, f);
-        MutexLock lock(stats_mutex);
-        ++stats.responses_sent;
+        enforce_write_cap(conn);
+        {
+          MutexLock lock(stats_mutex);
+          ++stats.responses_sent;
+        }
       } else {
         queue_error(conn, c.correlation, c.error, c.message);
       }
       // Flush eagerly: waiting for the next poll() round would add a tick
-      // of latency to every response.
-      if (!flush_writes(conn) ||
+      // of latency to every response. A doomed (slow-peer) connection is
+      // not worth flushing — it goes straight to the dead list.
+      if (conn.doomed || !flush_writes(conn) ||
           (conn.read_closed && conn.inflight.empty() && conn.out.empty())) {
         dead.push_back(conn.id);
       }
@@ -457,9 +534,16 @@ struct Server::Impl {
 
   // Returns false when the connection must be closed.
   bool flush_writes(Connection& conn) BT_REQUIRES(loop_thread) {
+    // Injected send faults (docs/ROBUSTNESS.md): a reset kills the
+    // connection like EPIPE; a stall pretends the kernel buffer is full
+    // (bytes stay queued — how slow peers present); a short write clamps
+    // one send to a single byte.
+    if (BT_FAULT_POINT("net.server.write.reset")) return false;
     while (!conn.out.empty()) {
-      const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
-                               MSG_NOSIGNAL);
+      if (BT_FAULT_POINT("net.server.write.stall")) return true;
+      std::size_t len = conn.out.size();
+      if (BT_FAULT_POINT("net.server.write.short")) len = 1;
+      const ssize_t n = ::send(conn.fd, conn.out.data(), len, MSG_NOSIGNAL);
       if (n > 0) {
         conn.out.consume(static_cast<std::size_t>(n));
         continue;
@@ -482,6 +566,10 @@ Server::Server(serving::Service& service, ServerOptions opts)
   }
   if (opts_.poll_timeout_ms < 1) {
     throw std::invalid_argument("ServerOptions: poll_timeout_ms must be >= 1");
+  }
+  if (!(opts_.idle_timeout_seconds >= 0)) {
+    throw std::invalid_argument(
+        "ServerOptions: idle_timeout_seconds must be >= 0");
   }
 }
 

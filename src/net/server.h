@@ -41,6 +41,15 @@
 // EDF admission, early window close, pre-compute shed — works unchanged
 // for wire traffic; a shed request surfaces as a kDeadlineExceeded frame.
 //
+// Connection defenses (all off by default; docs/ROBUSTNESS.md): an idle
+// timeout reaps connections with nothing in flight that have not sent a
+// byte in idle_timeout_seconds; a write-queue byte cap disconnects a slow
+// peer whose unread responses would otherwise grow server memory without
+// bound; a per-connection in-flight cap answers the frame that would
+// exceed it with kBackpressure instead of queueing it. Each defense kills
+// (or declines on) exactly one connection — the loop and every other
+// connection are untouched.
+//
 // Shutdown: stop() closes the listener and every connection and joins both
 // threads. Responses still in flight are dropped — their promises resolve
 // into abandoned futures, which is safe — because the peers they belong to
@@ -68,6 +77,19 @@ struct ServerOptions {
   // completion self-pipe both interrupt the wait — it only bounds how fast
   // a stop() issued from outside is noticed at worst.
   int poll_timeout_ms = 100;
+  // Close a connection with nothing in flight and nothing queued that has
+  // not sent a byte for this long (0 = never). Detection granularity is
+  // poll_timeout_ms under an otherwise quiet loop.
+  double idle_timeout_seconds = 0;
+  // Slow-peer defense: when a connection's queued response bytes still
+  // exceed this after a flush attempt — the kernel refused the bytes, so
+  // the peer is not draining — disconnect it (0 = unbounded). Sized in
+  // multiples of the largest expected response frame.
+  std::size_t max_write_queue_bytes = 0;
+  // Per-connection concurrency cap: a submit frame that would put more
+  // than this many correlations in flight on one connection is answered
+  // with kBackpressure instead of queued (0 = unbounded).
+  std::size_t max_inflight_per_connection = 0;
 };
 
 // Cumulative wire-level accounting (monotonic except active_connections).
@@ -81,6 +103,10 @@ struct ServerStats {
   long long protocol_errors = 0;        // connections killed by bad framing
   long long dropped_completions = 0;    // response arrived after its
                                         // connection closed
+  long long idle_disconnects = 0;       // reaped by idle_timeout_seconds
+  long long slow_peer_disconnects = 0;  // write queue over its byte cap
+  long long inflight_capped = 0;        // kBackpressure subset: frames
+                                        // declined by the in-flight cap
 };
 
 class Server {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace bt::serving {
 
 AsyncEngine::AsyncEngine(std::shared_ptr<const core::BertModel> model,
@@ -112,6 +114,11 @@ long long AsyncEngine::pending_tokens() const {
 EngineStats AsyncEngine::stats() const {
   MutexLock lock(mutex_);
   return stats_;
+}
+
+ReplicaHealth AsyncEngine::health() const {
+  MutexLock lock(mutex_);
+  return health_;
 }
 
 std::vector<std::size_t> AsyncEngine::admission_order_locked() const {
@@ -272,6 +279,18 @@ void AsyncEngine::scheduler_loop() {
     bool failed = false;
     std::exception_ptr error;
     try {
+      // Injected replica faults for resilience tests (docs/ROBUSTNESS.md):
+      // a stall and/or a thrown failure, scoped to this replica index. Both
+      // land inside this try — the same catch that handles a real engine
+      // failure handles them, so nothing escapes the scheduler thread.
+      // Guarded on live work so an empty round (everything shed, spurious
+      // wakeup) cannot consume a scripted fire budget without failing
+      // anything — hit #k deterministically means "the k-th round that
+      // actually computes".
+      if (!live.empty()) {
+        BT_FAULT_DELAY("serving.compute.delay", opts_.replica_index);
+        BT_FAULT_THROW("serving.compute.fail", opts_.replica_index);
+      }
       for (Queued& q : live) {
         Request r;
         r.id = q.id;
@@ -294,9 +313,23 @@ void AsyncEngine::scheduler_loop() {
     stats_ = engine_.stats();
     if (failed || responses.size() != live.size()) {
       if (!error) {
-        error = std::make_exception_ptr(std::runtime_error(
+        error = std::make_exception_ptr(InternalError(
             "AsyncEngine: inner engine lost responses for a round"));
+      } else {
+        // Keep typed serving errors (their code is the contract); wrap
+        // anything untyped — an engine exception, an injected fault — as
+        // InternalError so the failure carries kInternal end-to-end: the
+        // wire frames it, and a retrying client can tell "this request
+        // broke" (retryable) from "the server is going away" (not).
+        std::string detail;
+        if (error_code_of(error, ErrorCode::kInternal, &detail) ==
+            ErrorCode::kInternal) {
+          error = std::make_exception_ptr(
+              InternalError("AsyncEngine: round failed: " + detail));
+        }
       }
+      health_.failed += static_cast<long long>(live.size());
+      health_.consecutive_failures += static_cast<long long>(live.size());
       for (Queued& q : live) q.promise.set_exception(error);
       // A mid-compute failure leaves the round's unprocessed requests
       // queued inside the inner engine; drop them so they cannot bleed into
@@ -308,6 +341,10 @@ void AsyncEngine::scheduler_loop() {
       // order contract stop()'s drain relies on. The inner engine only saw
       // each request at round start, so rewrite queue_seconds to cover the
       // async wait (submit -> round start).
+      if (!live.empty()) {
+        health_.completed += static_cast<long long>(live.size());
+        health_.consecutive_failures = 0;
+      }
       const auto resolved_at = Clock::now();
       for (std::size_t i = 0; i < live.size(); ++i) {
         responses[i].queue_seconds =

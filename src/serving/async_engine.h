@@ -84,6 +84,18 @@ struct AsyncEngineOptions {
   int replica_index = -1;
 };
 
+// Failure accounting one replica exposes to its pool's circuit breaker
+// (pool.h). `completed`/`failed` count futures resolved with a Response /
+// with a round failure (InternalError or an escaped engine error); shed
+// requests count as neither — a deadline miss says the request was late,
+// not that the replica is broken. `consecutive_failures` is the breaker's
+// trip signal: failures since the last success.
+struct ReplicaHealth {
+  long long completed = 0;
+  long long failed = 0;
+  long long consecutive_failures = 0;
+};
+
 class AsyncEngine {
  public:
   // Validates opts.engine exactly like Engine (std::invalid_argument on
@@ -126,6 +138,10 @@ class AsyncEngine {
   // Snapshot of the inner engine's cumulative accounting as of the last
   // completed round.
   EngineStats stats() const BT_EXCLUDES(mutex_);
+
+  // Success/failure counters for replica health tracking (EnginePool's
+  // circuit breaker polls this at routing time).
+  ReplicaHealth health() const BT_EXCLUDES(mutex_);
 
   const core::BertModel& model() const { return engine_.model(); }
   const AsyncEngineOptions& options() const { return opts_; }
@@ -175,6 +191,7 @@ class AsyncEngine {
   long long deadline_met_ BT_GUARDED_BY(mutex_) = 0;
   long long deadline_missed_ BT_GUARDED_BY(mutex_) = 0;
   long long deadline_shed_ BT_GUARDED_BY(mutex_) = 0;
+  ReplicaHealth health_ BT_GUARDED_BY(mutex_);
   bool stop_ BT_GUARDED_BY(mutex_) = false;
 
   // Serializes the joinable-check/join in stop(). Never held together with

@@ -36,10 +36,11 @@ enum class ErrorCode : std::uint8_t {
   kBackpressure = 3,     // bounded queue full; retry later
   kDeadlineExceeded = 4, // deadline passed before compute; request shed
   kShutdown = 5,         // serving tier stopped (or failed terminally)
+  kInternal = 6,         // this request broke (round failure, lost response)
 };
 
 // One past the largest valid code — the wire decoder's range check.
-inline constexpr std::uint8_t kErrorCodeCount = 6;
+inline constexpr std::uint8_t kErrorCodeCount = 7;
 
 inline const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -49,6 +50,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kBackpressure: return "backpressure";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kInternal: return "internal";
   }
   return "invalid";
 }
@@ -103,6 +105,18 @@ class BackpressureError : public ServingError {
       : ServingError(ErrorCode::kBackpressure, what) {}
 };
 
+// An accepted request failed inside the serving tier — a compute round
+// threw, or the engine lost its response — while the tier itself keeps
+// serving. Distinct from ShutdownError ("the server is going away") so a
+// retrying client can tell a transient per-request failure from a dead
+// endpoint: kInternal is worth retrying (likely a different replica or a
+// recovered one), kShutdown is not.
+class InternalError : public ServingError {
+ public:
+  explicit InternalError(const std::string& what)
+      : ServingError(ErrorCode::kInternal, what) {}
+};
+
 // Duplicate caller-supplied request id — a programming error on the submit
 // thread (see the taxonomy note above for why this is invalid_argument).
 class DuplicateIdError : public std::invalid_argument {
@@ -152,6 +166,8 @@ inline std::exception_ptr make_serving_error(ErrorCode code,
       return std::make_exception_ptr(BackpressureError(what));
     case ErrorCode::kDeadlineExceeded:
       return std::make_exception_ptr(DeadlineExceeded(what));
+    case ErrorCode::kInternal:
+      return std::make_exception_ptr(InternalError(what));
     case ErrorCode::kOk:
     case ErrorCode::kShutdown:
       break;

@@ -36,6 +36,14 @@ EnginePool::EnginePool(std::shared_ptr<const core::BertModel> model,
     throw std::invalid_argument(
         "EnginePoolOptions: threads_per_replica must be >= 0");
   }
+  if (opts_.breaker.failure_threshold < 1) {
+    throw std::invalid_argument(
+        "CircuitBreakerOptions: failure_threshold must be >= 1");
+  }
+  if (!(opts_.breaker.quarantine_seconds >= 0.0)) {
+    throw std::invalid_argument(
+        "CircuitBreakerOptions: quarantine_seconds must be >= 0");
+  }
   AsyncEngineOptions replica_opts = opts_.engine;
   replica_opts.engine.threads = resolve_threads_per_replica(opts_);
   replica_opts.model_name = opts_.model_name;
@@ -48,6 +56,7 @@ EnginePool::EnginePool(std::shared_ptr<const core::BertModel> model,
   }
   router_ = make_router(opts_.route);
   routed_.resize(static_cast<std::size_t>(opts_.replicas));
+  breakers_.resize(static_cast<std::size_t>(opts_.replicas));
   engines_.reserve(static_cast<std::size_t>(opts_.replicas));
   for (int i = 0; i < opts_.replicas; ++i) {
     // Every replica aliases the same BertModel (and so the same
@@ -64,8 +73,71 @@ EnginePool::EnginePool(core::BertModel model, EnginePoolOptions opts)
 
 EnginePool::~EnginePool() { stop(); }
 
+void EnginePool::refresh_breakers_locked() const {
+  if (!opts_.breaker.enabled) return;
+  const auto now = Clock::now();
+  const auto cooldown = std::chrono::duration<double>(
+      opts_.breaker.quarantine_seconds);
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    Breaker& b = breakers_[i];
+    const ReplicaHealth h = engines_[i]->health();
+    switch (b.state) {
+      case Breaker::State::kHealthy:
+        if (h.consecutive_failures >=
+            static_cast<long long>(opts_.breaker.failure_threshold)) {
+          b.state = Breaker::State::kQuarantined;
+          b.since = now;
+          breaker_stats_.quarantines += 1;
+        }
+        break;
+      case Breaker::State::kQuarantined:
+        if (now - b.since >= cooldown) {
+          b.state = Breaker::State::kHalfOpen;
+          b.since = now;
+          b.probe_in_flight = false;
+        }
+        break;
+      case Breaker::State::kHalfOpen:
+        if (!b.probe_in_flight) break;
+        if (h.completed > b.probe_completed) {
+          // Something completed since the probe launched — the replica
+          // computes again. Re-admit.
+          b.state = Breaker::State::kHealthy;
+          b.since = now;
+          b.probe_in_flight = false;
+          breaker_stats_.readmissions += 1;
+        } else if (h.failed > b.probe_failed) {
+          b.state = Breaker::State::kQuarantined;
+          b.since = now;
+          b.probe_in_flight = false;
+          breaker_stats_.quarantines += 1;
+        } else if (now - b.since >= cooldown) {
+          // Probe neither completed nor failed within the patience window
+          // (shed, or stuck behind a long round): release the slot so the
+          // next routed request probes again.
+          b.probe_in_flight = false;
+        }
+        break;
+    }
+  }
+}
+
+bool EnginePool::replica_available_locked(std::size_t i) const {
+  if (engines_[i]->stopped()) return false;
+  if (!opts_.breaker.enabled) return true;
+  const Breaker& b = breakers_[i];
+  switch (b.state) {
+    case Breaker::State::kHealthy: return true;
+    case Breaker::State::kQuarantined: return false;
+    case Breaker::State::kHalfOpen: return !b.probe_in_flight;
+  }
+  return true;
+}
+
 EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
+  refresh_breakers_locked();
   std::vector<ReplicaLoad> loads(engines_.size());
+  bool any_available = false;
   for (std::size_t i = 0; i < engines_.size(); ++i) {
     // Replica-visible load plus the pool's in-transit share, so requests
     // routed by other submitters but still between the pool lock and the
@@ -75,6 +147,13 @@ EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
         static_cast<std::size_t>(routed_[i].in_transit_requests);
     loads[i].outstanding_tokens =
         engines_[i]->pending_tokens() + routed_[i].in_transit_tokens;
+    loads[i].available = replica_available_locked(i);
+    any_available = any_available || loads[i].available;
+  }
+  if (!any_available) {
+    // Every replica quarantined (or probing): routing somewhere beats
+    // dropping, and the routers' own fallbacks must see consistent flags.
+    for (auto& load : loads) load.available = true;
   }
   RouteRequest route_req(req.hidden.dim(0));
   RouteDecision decision;
@@ -86,6 +165,20 @@ EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
   // the hot path pays exactly one pin lookup).
   decision.target = router_->pick(loads, route_req, &decision.sticky_hit);
   decision.seen_outstanding = loads[decision.target].outstanding_requests;
+  if (opts_.breaker.enabled) {
+    Breaker& b = breakers_[decision.target];
+    if (b.state == Breaker::State::kHalfOpen && !b.probe_in_flight) {
+      // This request is the half-open probe; the replica stays unavailable
+      // to everyone else until its outcome shows in the health counters.
+      const ReplicaHealth h = engines_[decision.target]->health();
+      b.probe_in_flight = true;
+      b.since = Clock::now();
+      b.probe_completed = h.completed;
+      b.probe_failed = h.failed;
+      decision.probe = true;
+      breaker_stats_.probes += 1;
+    }
+  }
   Routed& acct = routed_[decision.target];
   acct.requests += 1;
   acct.tokens += req.hidden.dim(0);
@@ -124,6 +217,14 @@ void EnginePool::undo_route(const RouteDecision& d, long long tokens) {
   acct.in_transit_tokens -= tokens;
   sessions_.session_requests -= d.sessioned ? 1 : 0;
   sessions_.sticky_hits -= d.sticky_hit ? 1 : 0;
+  if (d.probe) {
+    // The probe never reached the replica (declined queue / submit threw):
+    // release the slot so the next routed request probes instead — without
+    // this, half-open would wait out the whole patience window.
+    Breaker& b = breakers_[d.target];
+    b.probe_in_flight = false;
+    breaker_stats_.probes -= 1;
+  }
 }
 
 std::future<Response> EnginePool::submit(Request req) {
@@ -225,6 +326,12 @@ EngineStats EnginePool::stats() const {
 EnginePool::SessionRouteStats EnginePool::session_route_stats() const {
   MutexLock lock(mutex_);
   return sessions_;
+}
+
+EnginePool::BreakerStats EnginePool::breaker_stats() const {
+  MutexLock lock(mutex_);
+  refresh_breakers_locked();
+  return breaker_stats_;
 }
 
 std::optional<std::size_t> EnginePool::pinned_replica(

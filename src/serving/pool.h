@@ -40,8 +40,20 @@
 //   order), but the hand-off to the chosen replica happens outside it —
 //   a submit() blocking on one replica's full queue never stalls routing
 //   to the others.
+//
+// Replica health and circuit breaking
+//   At routing time the pool polls every replica's ReplicaHealth
+//   (async_engine.h). A replica whose consecutive_failures reaches
+//   CircuitBreakerOptions::failure_threshold is quarantined: routers see
+//   it unavailable, and sticky pins on it migrate. After
+//   quarantine_seconds it turns half-open — the next routed request
+//   becomes the single probe while everyone else still avoids the replica;
+//   a completed probe re-admits it, a failed probe re-quarantines it. If
+//   every replica is unavailable the flags are ignored (routing somewhere
+//   beats dropping). docs/ROBUSTNESS.md draws the full state machine.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <future>
 #include <memory>
@@ -63,10 +75,21 @@ namespace bt::serving {
 // (off) included — always wins.
 inline constexpr int kStickySessionWorkspaces = 8;
 
+// Per-replica circuit breaker knobs (see "Replica health and circuit
+// breaking" above). quarantine_seconds doubles as the probe patience: a
+// half-open probe that neither completes nor fails within it (e.g. it was
+// shed) releases the probe slot so the next routed request probes again.
+struct CircuitBreakerOptions {
+  bool enabled = true;
+  int failure_threshold = 3;       // consecutive failures that trip it
+  double quarantine_seconds = 1.0; // cooldown before the half-open probe
+};
+
 struct EnginePoolOptions {
   AsyncEngineOptions engine;  // applied to every replica
   int replicas = 1;
   RoutePolicy route = RoutePolicy::kLeastOutstandingTokens;
+  CircuitBreakerOptions breaker;
   // Device workers per replica. 0 = partition the machine: if
   // engine.engine.threads is set, use that, else hardware_concurrency() /
   // replicas (min 1) — so replicas split the cores instead of
@@ -140,6 +163,22 @@ class EnginePool {
   std::optional<std::size_t> pinned_replica(std::string_view session) const
       BT_EXCLUDES(mutex_);
 
+  // Circuit-breaker accounting. Observing it advances the per-replica
+  // state machines first (same refresh routing performs), so a probe that
+  // completed after the last submission is still credited as a
+  // readmission.
+  struct BreakerStats {
+    long long quarantines = 0;   // kHealthy/kHalfOpen -> kQuarantined trips
+    long long probes = 0;        // requests routed as half-open probes
+    long long readmissions = 0;  // kHalfOpen -> kHealthy recoveries
+  };
+  BreakerStats breaker_stats() const BT_EXCLUDES(mutex_);
+
+  // One replica's health counters (forwarded from AsyncEngine::health).
+  ReplicaHealth replica_health(std::size_t i) const {
+    return engines_[i]->health();
+  }
+
   const core::BertModel& model() const { return engines_.front()->model(); }
   // Read-only view of one replica (observability + the shared-weights
   // identity tests; all replicas' models alias one ModelWeights).
@@ -148,12 +187,36 @@ class EnginePool {
   int hidden() const { return engines_.front()->hidden(); }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct RouteDecision {
     std::size_t target = 0;
     std::size_t seen_outstanding = 0;  // the load the router observed
     bool sessioned = false;            // request carried a session id
     bool sticky_hit = false;           // an existing pin decided the target
+    bool probe = false;                // the half-open probe slot is ours
   };
+
+  // One replica's breaker state. Probe outcome is judged from the health
+  // counters relative to the baselines recorded when the probe was routed:
+  // any completion during half-open is evidence of recovery, any failure
+  // is evidence it is still broken.
+  struct Breaker {
+    enum class State { kHealthy, kQuarantined, kHalfOpen };
+    State state = State::kHealthy;
+    Clock::time_point since{};      // entered current state (probe launch
+                                    // time while a probe is in flight)
+    bool probe_in_flight = false;
+    long long probe_completed = 0;  // health baselines at probe launch
+    long long probe_failed = 0;
+  };
+
+  // Advances every breaker state machine from the replicas' current health
+  // counters. Called at routing time and from breaker_stats(); const
+  // because observation legitimately advances the (mutable, locked)
+  // machines.
+  void refresh_breakers_locked() const BT_REQUIRES(mutex_);
+  bool replica_available_locked(std::size_t i) const BT_REQUIRES(mutex_);
   // Picks a replica and charges requests/tokens/in-transit to it. The
   // in-transit share covers requests routed here but not yet visible in the
   // replica's own pending() (the hand-off happens outside the pool lock):
@@ -191,6 +254,9 @@ class EnginePool {
   };
   std::vector<Routed> routed_ BT_GUARDED_BY(mutex_);
   SessionRouteStats sessions_ BT_GUARDED_BY(mutex_);
+  // mutable: refreshed by const observers (see refresh_breakers_locked).
+  mutable std::vector<Breaker> breakers_ BT_GUARDED_BY(mutex_);
+  mutable BreakerStats breaker_stats_ BT_GUARDED_BY(mutex_);
   bool stop_ BT_GUARDED_BY(mutex_) = false;
 };
 

@@ -10,14 +10,31 @@ namespace bt::serving {
 
 namespace {
 
-std::size_t least_outstanding_tokens(std::span<const ReplicaLoad> replicas) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < replicas.size(); ++i) {
-    if (replicas[i].outstanding_tokens < replicas[best].outstanding_tokens) {
+// Least-by-projection over the available replicas; when the breaker has
+// marked every one unavailable (defensive — EnginePool re-marks all
+// available in that case before calling pick), fall back to ignoring the
+// flag: routing somewhere beats routing nowhere.
+template <typename Proj>
+std::size_t least_available_by(std::span<const ReplicaLoad> replicas,
+                               Proj proj) {
+  std::size_t best = replicas.size();
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (!replicas[i].available) continue;
+    if (best == replicas.size() || proj(replicas[i]) < proj(replicas[best])) {
       best = i;  // strict < : ties stay on the lowest index
     }
   }
+  if (best != replicas.size()) return best;
+  best = 0;
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    if (proj(replicas[i]) < proj(replicas[best])) best = i;
+  }
   return best;
+}
+
+std::size_t least_outstanding_tokens(std::span<const ReplicaLoad> replicas) {
+  return least_available_by(
+      replicas, [](const ReplicaLoad& r) { return r.outstanding_tokens; });
 }
 
 class RoundRobinRouter final : public Router {
@@ -26,8 +43,18 @@ class RoundRobinRouter final : public Router {
                    const RouteRequest& /*req*/,
                    bool* pinned_hit) override {
     if (pinned_hit != nullptr) *pinned_hit = false;
-    const std::size_t target = next_ % replicas.size();
-    next_ = (next_ + 1) % replicas.size();
+    // Advance the cursor past unavailable replicas (at most one lap); with
+    // every replica available this is exactly the classic cyclic walk.
+    const std::size_t n = replicas.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t cand = (next_ + k) % n;
+      if (replicas[cand].available) {
+        next_ = (cand + 1) % n;
+        return cand;
+      }
+    }
+    const std::size_t target = next_ % n;
+    next_ = (next_ + 1) % n;
     return target;
   }
   const char* name() const override {
@@ -44,14 +71,9 @@ class LeastOutstandingRequestsRouter final : public Router {
                    const RouteRequest& /*req*/,
                    bool* pinned_hit) override {
     if (pinned_hit != nullptr) *pinned_hit = false;
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < replicas.size(); ++i) {
-      if (replicas[i].outstanding_requests <
-          replicas[best].outstanding_requests) {
-        best = i;
-      }
-    }
-    return best;
+    return least_available_by(replicas, [](const ReplicaLoad& r) {
+      return r.outstanding_requests;
+    });
   }
   const char* name() const override {
     return route_policy_name(RoutePolicy::kLeastOutstandingRequests);
@@ -88,8 +110,13 @@ class StickySessionRouter final : public Router {
     if (auto it = pins_.find(*req.session); it != pins_.end()) {
       // A shrunken fleet (not possible through EnginePool today, where the
       // replica count is fixed at construction) would invalidate the pin;
-      // re-route and re-pin instead of indexing out of range.
-      if (it->second.replica < replicas.size()) {
+      // re-route and re-pin instead of indexing out of range. A pin on an
+      // unavailable (quarantined) replica migrates the same way: drop it
+      // and re-pin by load below — the session's warm workspace is lost,
+      // but a warm workspace on a broken replica serves nothing. Not a
+      // pinned_hit: an existing pin did not decide this pick.
+      if (it->second.replica < replicas.size() &&
+          replicas[it->second.replica].available) {
         lru_.splice(lru_.end(), lru_, it->second.pos);  // refresh recency
         if (pinned_hit != nullptr) *pinned_hit = true;
         return it->second.replica;

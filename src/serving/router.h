@@ -71,6 +71,12 @@ std::optional<RoutePolicy> parse_route_policy(std::string_view name);
 struct ReplicaLoad {
   std::size_t outstanding_requests = 0;  // accepted, future not yet resolved
   long long outstanding_tokens = 0;      // their total valid rows
+  // Cleared by EnginePool's circuit breaker for quarantined replicas (and
+  // half-open replicas with a probe already in flight). Routers skip
+  // unavailable replicas; a sticky pin on one migrates. When EVERY replica
+  // is unavailable the flag is ignored — routing somewhere beats dropping
+  // (pool.cc re-marks all available before calling pick in that case).
+  bool available = true;
 };
 
 // Routing attributes of one request. Implicitly constructible from a bare

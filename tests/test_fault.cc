@@ -1,0 +1,224 @@
+// Fault-injection framework: seeded determinism, scripted schedules,
+// instance scoping, fire budgets, and the disabled fast path. These are
+// the properties the chaos tests lean on — a fault schedule that is not
+// reproducible cannot back an assertion of bitwise-identical outcomes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+
+namespace bt::fault {
+namespace {
+
+// Replays `hits` hits of (point, instance) and returns which indices fired.
+std::vector<std::uint64_t> fire_indices(Injector& inj, const char* point,
+                                        int instance, int hits) {
+  std::vector<std::uint64_t> fired;
+  for (int k = 0; k < hits; ++k) {
+    if (inj.should_fire(point, instance)) {
+      fired.push_back(static_cast<std::uint64_t>(k));
+    }
+  }
+  return fired;
+}
+
+TEST(Fault, UnarmedPointNeverFiresAndIsNotCounted) {
+  Injector inj(42);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_FALSE(inj.should_fire("net.server.read.short", -1));
+  }
+  EXPECT_EQ(inj.stats("net.server.read.short").hits, 0u);
+  EXPECT_EQ(inj.total_fires(), 0u);
+}
+
+TEST(Fault, NoInstalledInjectorMeansHooksAreInert) {
+  ASSERT_EQ(installed(), nullptr);
+  // The macro forms must be safe to reach with nothing installed — they
+  // ship compiled into production paths.
+  EXPECT_FALSE(BT_FAULT_POINT("net.server.read.short"));
+  BT_FAULT_THROW("serving.compute.fail", 0);  // must not throw
+  BT_FAULT_DELAY("serving.compute.delay", 0); // must not sleep
+}
+
+TEST(Fault, SameSeedReplaysTheSameFireSet) {
+  PointConfig cfg;
+  cfg.probability = 0.3;
+
+  Injector a(7);
+  a.arm("net.client.conn.reset", cfg);
+  Injector b(7);
+  b.arm("net.client.conn.reset", cfg);
+
+  const auto fa = fire_indices(a, "net.client.conn.reset", -1, 500);
+  const auto fb = fire_indices(b, "net.client.conn.reset", -1, 500);
+  EXPECT_EQ(fa, fb);
+  // The rate is in the right ballpark — seeded, not degenerate.
+  EXPECT_GT(fa.size(), 500 * 0.15);
+  EXPECT_LT(fa.size(), 500 * 0.45);
+
+  // A different seed produces a different schedule.
+  Injector c(8);
+  c.arm("net.client.conn.reset", cfg);
+  EXPECT_NE(fire_indices(c, "net.client.conn.reset", -1, 500), fa);
+}
+
+TEST(Fault, FireAtScriptsExactHitIndices) {
+  Injector inj(1);
+  PointConfig cfg;
+  cfg.fire_at = {0, 3, 7};
+  inj.arm("serving.compute.fail", cfg);
+
+  const auto fired = fire_indices(inj, "serving.compute.fail", 0, 10);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{0, 3, 7}));
+  const auto st = inj.stats("serving.compute.fail");
+  EXPECT_EQ(st.hits, 10u);
+  EXPECT_EQ(st.fires, 3u);
+  EXPECT_EQ(inj.total_fires(), 3u);
+}
+
+TEST(Fault, InstanceFilterScopesFiresToOneInstance) {
+  Injector inj(1);
+  PointConfig cfg;
+  cfg.probability = 1.0;
+  cfg.instance = 0;
+  inj.arm("serving.compute.fail", cfg);
+
+  // Replica 0 fires every hit; replica 1 never does, and the interleaving
+  // does not leak replica 1's hits into replica 0's hit stream.
+  EXPECT_TRUE(inj.should_fire("serving.compute.fail", 0));
+  EXPECT_FALSE(inj.should_fire("serving.compute.fail", 1));
+  EXPECT_TRUE(inj.should_fire("serving.compute.fail", 0));
+  EXPECT_FALSE(inj.should_fire("serving.compute.fail", 1));
+}
+
+TEST(Fault, PerInstanceHitStreamsAreInterleavingIndependent) {
+  PointConfig cfg;
+  cfg.probability = 0.4;
+
+  // Sequential per-instance replay is the reference schedule.
+  Injector ref(99);
+  ref.arm("net.server.write.short", cfg);
+  const auto ref0 = fire_indices(ref, "net.server.write.short", 0, 200);
+  const auto ref1 = fire_indices(ref, "net.server.write.short", 1, 200);
+
+  // Interleaved replay of the same two streams lands identically.
+  Injector mix(99);
+  mix.arm("net.server.write.short", cfg);
+  std::vector<std::uint64_t> mix0;
+  std::vector<std::uint64_t> mix1;
+  for (int k = 0; k < 200; ++k) {
+    if (mix.should_fire("net.server.write.short", 1)) {
+      mix1.push_back(static_cast<std::uint64_t>(k));
+    }
+    if (mix.should_fire("net.server.write.short", 0)) {
+      mix0.push_back(static_cast<std::uint64_t>(k));
+    }
+  }
+  EXPECT_EQ(mix0, ref0);
+  EXPECT_EQ(mix1, ref1);
+}
+
+TEST(Fault, MaxFiresCapsTheBudgetThenRecovers) {
+  Injector inj(1);
+  PointConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 3;
+  inj.arm("serving.compute.fail", cfg);
+
+  int fires = 0;
+  for (int k = 0; k < 10; ++k) {
+    if (inj.should_fire("serving.compute.fail", 0)) ++fires;
+  }
+  // "Fail 3 times, then recover" — the chaos soak's replica script.
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(inj.stats("serving.compute.fail").hits, 10u);
+}
+
+TEST(Fault, RearmResetsCountersAndDisarmSilences) {
+  Injector inj(1);
+  PointConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 1;
+  inj.arm("net.server.read.reset", cfg);
+
+  EXPECT_TRUE(inj.should_fire("net.server.read.reset", -1));
+  EXPECT_FALSE(inj.should_fire("net.server.read.reset", -1));  // budget spent
+
+  inj.arm("net.server.read.reset", cfg);  // re-arm resets the budget
+  EXPECT_TRUE(inj.should_fire("net.server.read.reset", -1));
+
+  inj.disarm("net.server.read.reset");
+  EXPECT_FALSE(inj.should_fire("net.server.read.reset", -1));
+  EXPECT_EQ(inj.stats("net.server.read.reset").hits, 0u);  // forgotten
+}
+
+TEST(Fault, ParamRidesAlongForSiteInterpretation) {
+  Injector inj(1);
+  PointConfig cfg;
+  cfg.probability = 1.0;
+  cfg.param = 1234;
+  inj.arm("serving.compute.delay", cfg);
+  EXPECT_EQ(inj.param_of("serving.compute.delay"), 1234u);
+  EXPECT_EQ(inj.param_of("serving.compute.fail", 77), 77u);  // unarmed: dflt
+}
+
+TEST(Fault, ScopedInjectorInstallsAndUninstalls) {
+  Injector inj(5);
+  PointConfig cfg;
+  cfg.probability = 1.0;
+  inj.arm("net.client.write.short", cfg);
+
+  ASSERT_EQ(installed(), nullptr);
+  {
+    ScopedInjector scope(inj);
+    EXPECT_EQ(installed(), &inj);
+    EXPECT_TRUE(BT_FAULT_POINT("net.client.write.short"));
+  }
+  EXPECT_EQ(installed(), nullptr);
+  EXPECT_FALSE(BT_FAULT_POINT("net.client.write.short"));
+}
+
+TEST(Fault, ThrowHookThrowsRuntimeErrorNamingThePoint) {
+  Injector inj(5);
+  PointConfig cfg;
+  cfg.probability = 1.0;
+  inj.arm("serving.compute.fail", cfg);
+  ScopedInjector scope(inj);
+  try {
+    BT_FAULT_THROW("serving.compute.fail", 0);
+    FAIL() << "armed throw point did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("serving.compute.fail"),
+              std::string::npos);
+  }
+}
+
+TEST(Fault, ConcurrentHitsAreCountedExactly) {
+  Injector inj(3);
+  PointConfig cfg;
+  cfg.probability = 0.5;
+  inj.arm("net.server.write.stall", cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&inj, t] {
+      for (int k = 0; k < kHitsPerThread; ++k) {
+        inj.should_fire("net.server.write.stall", t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto st = inj.stats("net.server.write.stall");
+  EXPECT_EQ(st.hits, static_cast<std::uint64_t>(kThreads * kHitsPerThread));
+  EXPECT_EQ(st.fires, inj.total_fires());
+  EXPECT_GT(st.fires, 0u);
+}
+
+}  // namespace
+}  // namespace bt::fault

@@ -17,6 +17,11 @@
 #      dead weight or (worse) guarding state the analysis doesn't know
 #      about.
 #
+#   4. Every fault point named at a BT_FAULT_* site in src/ is documented
+#      in the docs/ROBUSTNESS.md catalog. An undocumented point is
+#      invisible to operators writing chaos configs — and to the reviewer
+#      deciding whether the injection site is safe.
+#
 # Exit 0 = clean, 1 = violations (printed per rule). Run from anywhere.
 set -u
 
@@ -80,6 +85,7 @@ check_nothrow src/net/server.cc 'void process_completions()'
 check_nothrow src/net/server.cc 'bool handle_readable('
 check_nothrow src/net/server.cc 'bool handle_submit('
 check_nothrow src/net/client.cc 'Client::receive_loop'
+check_nothrow src/net/client.cc 'Client::retry_loop'
 
 # ---- rule 3: a bt::Mutex member implies BT_GUARDED_BY somewhere -------------
 while IFS= read -r file; do
@@ -92,8 +98,30 @@ while IFS= read -r file; do
 done < <(grep -rlE '^[[:space:]]*(mutable[[:space:]]+)?Mutex[[:space:]]+[A-Za-z_]+_?' \
          --include='*.h' --include='*.cc' src/)
 
+# ---- rule 4: every BT_FAULT_* site names a documented fault point -----------
+# Injection sites look like BT_FAULT_THROW("name", ...); the catalog in
+# docs/ROBUSTNESS.md carries one `name` entry per point. src/common/fault.h
+# is exempt (it defines the macros, it doesn't place points).
+points=$(grep -rhoE 'BT_FAULT_[A-Z]+\("[^"]+"' --include='*.h' --include='*.cc' src/ \
+         | grep -v 'src/common/fault.h' | sed -E 's/.*\("([^"]+)".*/\1/' | sort -u)
+if [[ -n "$points" ]]; then
+  if [[ ! -f docs/ROBUSTNESS.md ]]; then
+    note "rule 4: BT_FAULT_* sites exist but docs/ROBUSTNESS.md is missing —"
+    note "the fault-point catalog must document every injection point."
+    fail=1
+  else
+    while IFS= read -r point; do
+      if ! grep -q "\`$point\`" docs/ROBUSTNESS.md; then
+        note "rule 4: fault point \"$point\" is injected in src/ but not"
+        note "documented in the docs/ROBUSTNESS.md catalog — add a row for it."
+        fail=1
+      fi
+    done <<< "$points"
+  fi
+fi
+
 if [[ $fail -eq 0 ]]; then
   note "lint: clean (no raw sync members, no scheduler-thread throws,"
-  note "every mutex guards annotated state)"
+  note "every mutex guards annotated state, every fault point documented)"
 fi
 exit $fail
