@@ -18,6 +18,11 @@
 #   BENCH_serving_faults.json — resilience cost (BM_ServingFaults): req/s
 #                        and p50/p99 at 0%/1%/5% injected fault rate with
 #                        retrying clients, plus frames re-sent per run
+#   BENCH_obs.json     — telemetry overhead (bench_obs): recording-primitive
+#                        ns/op with the obs kill switch off/on, and the paired
+#                        BM_ServingService replay (req_s_obs0 vs req_s_obs1,
+#                        alternating arms); overhead_pct must stay under 2%
+#                        (docs/OBSERVABILITY.md)
 #
 # Usage:  bench/run_perf.sh [build_dir] [out_dir]
 #   build_dir  cmake build tree holding the bench binaries  (default: build)
@@ -93,6 +98,12 @@ if [[ -x "$BUILD/bench_serving_faults" ]]; then
       --benchmark_filter='BM_ServingFaults' > "$TMP/faults_default.json"
 fi
 
+# Telemetry overhead: recording primitives + the service replay, obs off/on.
+if [[ -x "$BUILD/bench_obs" ]]; then
+  echo "== bench_obs" >&2
+  "$BUILD/bench_obs" --benchmark_format=json > "$TMP/obs_default.json"
+fi
+
 python3 - "$TMP" "$OUT" "${BT_PERF_BASELINE:-}" <<'PY'
 import json, sys, os
 
@@ -118,7 +129,8 @@ def records(path, requested):
         }
         for key in ("gflops", "tokens_s", "alpha", "pad_waste",
                     "req_s", "p50_ms", "p99_ms", "replicas", "models",
-                    "session_hit", "wire", "fault_pct", "retries"):
+                    "session_hit", "wire", "fault_pct", "retries", "obs",
+                    "req_s_obs0", "req_s_obs1", "overhead_pct"):
             if key in b:
                 rec[key] = b[key]
         yield ctx, rec
@@ -168,4 +180,6 @@ if os.path.exists(os.path.join(tmp, "wire_default.json")):
     merge("wire", "BENCH_serving_wire.json", kernels=("default",))
 if os.path.exists(os.path.join(tmp, "faults_default.json")):
     merge("faults", "BENCH_serving_faults.json", kernels=("default",))
+if os.path.exists(os.path.join(tmp, "obs_default.json")):
+    merge("obs", "BENCH_obs.json", kernels=("default",))
 PY

@@ -40,18 +40,30 @@
 // reconnect), so the report shows how much of the injected damage the
 // resilience machinery absorbed (retries, reconnects, residual failures).
 //
+// Telemetry (docs/OBSERVABILITY.md): each policy section ends with a
+// latency-breakdown table — queue/batch/compute/flush p50/p99 decomposed
+// from the obs trace ring's per-request stage stamps. `--stats-interval S`
+// additionally prints the live metric-registry snapshot as one JSON line
+// every S seconds while the replay runs (over the wire via a kStatsRequest
+// frame when --wire is on — the same path tools/bt_stats uses — otherwise
+// straight from the in-process registry). `--wire-port P` pins the
+// server's port so an external bt_stats can poll the same run.
+//
 // Usage: serving_simulator [--replicas N] [--route rr|lor|lot|sticky]
 //                          [--requests N] [--rps X] [--models N]
 //                          [--sessions N] [--sticky] [--slo-ms X]
-//                          [--wire] [--wire-conns N]
+//                          [--wire] [--wire-conns N] [--wire-port P]
+//                          [--stats-interval S]
 //                          [--chaos P] [--chaos-seed N]
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
@@ -60,6 +72,8 @@
 #include "core/model.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/request_gen.h"
 #include "serving/service.h"
 #include "tensor/tensor.h"
@@ -85,6 +99,8 @@ struct Args {
   double slo_ms = 0;  // 0 = no deadlines
   bool wire = false;  // drive the trace over loopback sockets
   int wire_conns = 4;
+  int wire_port = 0;  // 0 = kernel-assigned
+  double stats_interval = 0;  // 0 = no live snapshot polling
   double chaos = 0;   // fault probability for the injected fault points
   std::uint64_t chaos_seed = 42;
 };
@@ -94,8 +110,9 @@ struct Args {
                "usage: %s [--replicas N] [--route rr|lor|lot|sticky] "
                "[--requests N] [--rps X]\n"
                "          [--models N] [--sessions N] [--sticky] [--slo-ms X]\n"
-               "          [--wire] [--wire-conns N] [--chaos P] "
-               "[--chaos-seed N]\n",
+               "          [--wire] [--wire-conns N] [--wire-port P] "
+               "[--stats-interval S]\n"
+               "          [--chaos P] [--chaos-seed N]\n",
                argv0);
   std::exit(2);
 }
@@ -145,6 +162,13 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(flag, "--wire-conns") == 0) {
       args.wire_conns = std::atoi(value);
       if (args.wire_conns < 1) usage(argv[0]);
+    } else if (std::strcmp(flag, "--wire-port") == 0) {
+      const int port = std::atoi(value);
+      if (port < 0 || port > 65535) usage(argv[0]);
+      args.wire_port = port;
+    } else if (std::strcmp(flag, "--stats-interval") == 0) {
+      args.stats_interval = std::atof(value);
+      if (args.stats_interval < 0) usage(argv[0]);
     } else if (std::strcmp(flag, "--chaos") == 0) {
       args.chaos = std::atof(value);
       if (args.chaos < 0 || args.chaos > 1) usage(argv[0]);
@@ -250,6 +274,13 @@ int main(int argc, char** argv) {
               "p50(ms)", "p95(ms)", "tok/ms(fwd)", "pad-waste");
 
   for (const Policy& pol : policies) {
+    // Each policy section reports its own telemetry: zero the registry and
+    // re-arm the trace ring (sized to hold the whole trace, sampling off)
+    // so the breakdown table below decomposes exactly this policy's run.
+    obs::MetricRegistry::global().reset_for_testing();
+    obs::TraceRing::global().configure(
+        static_cast<std::size_t>(num_requests) + 16, 1);
+
     serving::EnginePoolOptions pool_opts;
     pool_opts.engine.engine.flags = pol.flags;
     pool_opts.engine.engine.policy = pol.batching;
@@ -296,8 +327,14 @@ int main(int argc, char** argv) {
     std::unique_ptr<net::Server> server;
     std::vector<std::unique_ptr<net::Client>> clients;
     if (args.wire) {
-      server = std::make_unique<net::Server>(service);
+      net::ServerOptions sopts;
+      sopts.port = static_cast<std::uint16_t>(args.wire_port);
+      server = std::make_unique<net::Server>(service, sopts);
       server->start();
+      if (args.wire_port > 0) {
+        std::printf("wire: listening on 127.0.0.1:%u (bt_stats --port %u)\n",
+                    server->port(), server->port());
+      }
       net::ClientOptions copts;
       if (args.chaos > 0) {
         // Under chaos the clients absorb injected damage: retry declined
@@ -331,8 +368,53 @@ int main(int argc, char** argv) {
       return service.submit(std::move(req));
     };
 
+    // Live snapshot polling: one JSON line every --stats-interval seconds
+    // while the replay runs. Over the wire this exercises the same
+    // kStatsRequest path tools/bt_stats uses (on its own connection, so
+    // stats frames never queue behind submissions); in-process it publishes
+    // and serializes the registry directly.
+    std::atomic<bool> stats_poll_stop{false};
+    std::thread stats_poller;
+    if (args.stats_interval > 0) {
+      stats_poller = std::thread([&] {
+        std::unique_ptr<net::Client> poll_client;
+        const auto tick = std::chrono::milliseconds(20);
+        auto next_pull = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 args.stats_interval));
+        while (!stats_poll_stop.load()) {
+          std::this_thread::sleep_for(tick);
+          if (std::chrono::steady_clock::now() < next_pull) continue;
+          next_pull += std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(args.stats_interval));
+          std::string json;
+          if (args.wire) {
+            try {
+              if (poll_client == nullptr) {
+                poll_client = std::make_unique<net::Client>(server->port());
+              }
+              json = poll_client->fetch_stats(false).get().metrics_json;
+            } catch (const std::exception&) {
+              break;  // server gone; the replay is ending
+            }
+          } else {
+            service.publish_stats();
+            json = obs::MetricRegistry::global().to_json();
+          }
+          std::printf("[stats] %s\n", json.c_str());
+          std::fflush(stdout);
+        }
+        if (poll_client != nullptr) poll_client->close();
+      });
+    }
+
     const serving::ReplayResult replay = serving::replay_trace(
         arrivals, std::move(requests), submit, &g_interrupted);
+    stats_poll_stop.store(true);
+    if (stats_poller.joinable()) stats_poller.join();
     // Latency percentiles cover served requests only: a shed request's
     // future resolves almost immediately with DeadlineExceeded, and folding
     // those near-zero times in would make deadline pressure look like a
@@ -376,6 +458,43 @@ int main(int argc, char** argv) {
                     ? 100.0 * static_cast<double>(st.padding_tokens()) /
                           static_cast<double>(st.processed_tokens)
                     : 0.0);
+
+    // Stage decomposition from the trace ring: where each served request's
+    // time went — waiting for its batching window to close (queue), window
+    // close to compute start (batch formation + dispatch), the forward pass
+    // itself (compute), and compute end to promise resolution (flush).
+    {
+      const auto traced = obs::TraceRing::global().snapshot();
+      if (!traced.empty()) {
+        std::vector<double> queue_ms, batch_ms, compute_ms, flush_ms;
+        queue_ms.reserve(traced.size());
+        batch_ms.reserve(traced.size());
+        compute_ms.reserve(traced.size());
+        flush_ms.reserve(traced.size());
+        for (const auto& t : traced) {
+          queue_ms.push_back((t.t_window_close - t.t_submit) * 1e3);
+          batch_ms.push_back((t.t_compute_start - t.t_window_close) * 1e3);
+          compute_ms.push_back((t.t_compute_end - t.t_compute_start) * 1e3);
+          flush_ms.push_back((t.t_replied - t.t_compute_end) * 1e3);
+        }
+        std::printf("  breakdown over %zu traced request(s), p50/p99 ms:\n",
+                    traced.size());
+        std::printf(
+            "    queue %6.2f/%6.2f  batch %6.2f/%6.2f  compute %6.2f/%6.2f"
+            "  flush %6.2f/%6.2f\n",
+            stats::percentile(queue_ms, 0.5), stats::percentile(queue_ms, 0.99),
+            stats::percentile(batch_ms, 0.5), stats::percentile(batch_ms, 0.99),
+            stats::percentile(compute_ms, 0.5),
+            stats::percentile(compute_ms, 0.99),
+            stats::percentile(flush_ms, 0.5),
+            stats::percentile(flush_ms, 0.99));
+      }
+    }
+    if (args.wire && args.chaos <= 0) {
+      // Under --chaos the line below folds these into its damage report.
+      std::printf("  wire: clients retried %lld, reconnected %lld\n",
+                  wire_resilience.retries, wire_resilience.reconnects);
+    }
 
     if (args.slo_ms > 0) {
       std::printf("  deadlines: %lld met  %lld missed  %lld shed "

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace bt::net {
 
@@ -142,6 +143,38 @@ std::future<serving::Response> Client::submit_serving(WireRequest req) {
   return fut;
 }
 
+std::future<WireStats> Client::fetch_stats(bool include_traces) {
+  if (closed_.load()) {
+    throw serving::ShutdownError(
+        "net::Client: fetch_stats on a closed connection");
+  }
+  const std::uint64_t correlation = next_correlation_.fetch_add(1);
+  std::promise<WireStats> prom;
+  auto fut = prom.get_future();
+  StatsRequestFrame f;
+  f.correlation = correlation;
+  f.include_traces = include_traces ? 1 : 0;
+  Buffer wire;
+  encode_stats_request(wire, f);
+  // Register before writing, like start_request: the reply can land on the
+  // receiver thread before this send returns. A failed write leaves the
+  // promise registered — the connection-loss sweep rejects it.
+  {
+    MutexLock lock(pending_mutex_);
+    pending_stats_.emplace(correlation, std::move(prom));
+  }
+  write_frame(wire);
+  return fut;
+}
+
+ClientStats Client::stats() const {
+  const ClientStats s{retries_.load(), reconnects_.load()};
+  auto& reg = obs::MetricRegistry::global();
+  reg.gauge("net.client.retries").set(static_cast<double>(s.retries));
+  reg.gauge("net.client.reconnects").set(static_cast<double>(s.reconnects));
+  return s;
+}
+
 void Client::start_request(PendingOp op) {
   const auto now = Clock::now();
   const std::uint64_t correlation = next_correlation_.fetch_add(1);
@@ -222,11 +255,33 @@ Client::ConnEnd Client::run_connection(std::string* why) {
       const DecodeStatus status = decoder_.next(&frame);
       if (status == DecodeStatus::kNeedMore) break;
       if (status == DecodeStatus::kError ||
-          frame.type != FrameType::kResponse) {
+          (frame.type != FrameType::kResponse &&
+           frame.type != FrameType::kStatsResponse)) {
         *why = "net::Client: protocol error from server: " +
                (decoder_.failed() ? decoder_.error()
                                   : std::string("unexpected frame"));
         return ConnEnd::kProtocol;
+      }
+      if (frame.type == FrameType::kStatsResponse) {
+        const StatsResponseFrame& sf = frame.stats_response;
+        std::promise<WireStats> prom;
+        bool found_stats = false;
+        {
+          MutexLock lock(pending_mutex_);
+          auto it = pending_stats_.find(sf.correlation);
+          if (it != pending_stats_.end()) {
+            prom = std::move(it->second);
+            pending_stats_.erase(it);
+            found_stats = true;
+          }
+        }
+        // Unsolicited correlation: drop, like an unsolicited response.
+        if (!found_stats) continue;
+        WireStats ws;
+        ws.metrics_json = std::string(sf.metrics_json);
+        ws.traces_jsonl = std::string(sf.traces_jsonl);
+        prom.set_value(std::move(ws));
+        continue;
       }
       const ResponseFrame& rf = frame.response;
       PendingOp op;
@@ -358,6 +413,7 @@ bool Client::reconnect_and_resend() {
   // registered after the swap and written to the new connection — never
   // stranded on the old one.
   std::vector<PendingOp> swept;
+  std::vector<std::promise<WireStats>> swept_stats;
   {
     MutexLock wlock(write_mutex_);
     if (closed_.load()) {
@@ -370,10 +426,22 @@ bool Client::reconnect_and_resend() {
     swept.reserve(pending_.size());
     for (auto& [correlation, op] : pending_) swept.push_back(std::move(op));
     pending_.clear();
+    // Stats pulls never re-send: a snapshot requested of the old
+    // connection's server moment is stale by the time a reconnect lands.
+    swept_stats.reserve(pending_stats_.size());
+    for (auto& [correlation, prom] : pending_stats_) {
+      swept_stats.push_back(std::move(prom));
+    }
+    pending_stats_.clear();
   }
   // Mid-frame bytes from the old connection die with it.
   decoder_ = Decoder(opts_.max_frame_bytes);
   reconnects_.fetch_add(1);
+  for (auto& prom : swept_stats) {
+    prom.set_exception(serving::make_serving_error(
+        serving::ErrorCode::kShutdown,
+        "net::Client: connection lost before the stats reply"));
+  }
   for (auto& op : swept) {
     resend(std::move(op), "connection lost and retry budget exhausted");
   }
@@ -484,12 +552,18 @@ void Client::fail_op(PendingOp op, serving::ErrorCode code,
 
 void Client::fail_pending(const std::string& why) {
   std::unordered_map<std::uint64_t, PendingOp> orphans;
+  std::unordered_map<std::uint64_t, std::promise<WireStats>> stat_orphans;
   {
     MutexLock lock(pending_mutex_);
     orphans.swap(pending_);
+    stat_orphans.swap(pending_stats_);
   }
   for (auto& [correlation, op] : orphans) {
     fail_op(std::move(op), serving::ErrorCode::kShutdown, why);
+  }
+  for (auto& [correlation, prom] : stat_orphans) {
+    prom.set_exception(
+        serving::make_serving_error(serving::ErrorCode::kShutdown, why));
   }
 }
 

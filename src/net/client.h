@@ -81,6 +81,14 @@ struct WireResponse {
   bool ok() const { return error == serving::ErrorCode::kOk; }
 };
 
+// The server's telemetry snapshot (a decoded kStatsResponse), copied out
+// of the wire buffer into owning strings: the metric registry as one JSON
+// object and — when requested — the sampled trace ring as JSONL.
+struct WireStats {
+  std::string metrics_json;
+  std::string traces_jsonl;
+};
+
 // When and how the client retries. max_attempts counts sends of one
 // request (1 = retries off entirely); the backoff before attempt k+1 is
 //
@@ -134,6 +142,12 @@ class Client {
   std::future<WireResponse> submit(WireRequest req);
   std::future<serving::Response> submit_serving(WireRequest req);
 
+  // Pulls the server's telemetry snapshot (a kStatsRequest frame). Stats
+  // pulls are diagnostics, not work: they are never retried and do not
+  // survive a reconnect — the future rejects with serving::ShutdownError
+  // when the connection drops (or close() lands) before the reply.
+  std::future<WireStats> fetch_stats(bool include_traces = false);
+
   // Half-closes the connection (the server sees EOF after draining),
   // rejects every still-pending future with serving::ShutdownError, and
   // joins the worker threads. Idempotent.
@@ -143,9 +157,10 @@ class Client {
   // or retries exhausted / disabled after a connection loss.
   bool connected() const { return !closed_.load(); }
 
-  ClientStats stats() const {
-    return {retries_.load(), reconnects_.load()};
-  }
+  // Snapshot of the retry counters. Also publishes them into the global
+  // MetricRegistry as "net.client.*" gauges — the snapshot-method dedup
+  // rule of docs/OBSERVABILITY.md (client.cc).
+  ClientStats stats() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -219,6 +234,11 @@ class Client {
   Mutex write_mutex_;  // serializes frame writes and fd swaps
   Mutex pending_mutex_;
   std::unordered_map<std::uint64_t, PendingOp> pending_
+      BT_GUARDED_BY(pending_mutex_);
+  // Stats pulls awaiting their kStatsResponse, keyed by correlation. Kept
+  // apart from pending_: they never retry, never re-send on reconnect, and
+  // resolve to a different type.
+  std::unordered_map<std::uint64_t, std::promise<WireStats>> pending_stats_
       BT_GUARDED_BY(pending_mutex_);
 
   Mutex retry_mutex_;

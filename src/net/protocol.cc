@@ -77,6 +77,14 @@ struct Cursor {
     return true;
   }
 
+  bool read_str32(std::string_view* out) {
+    std::uint32_t len;
+    const std::byte* b;
+    if (!read_u32(&len) || !read_bytes(&b, len)) return false;
+    *out = std::string_view(reinterpret_cast<const char*>(b), len);
+    return true;
+  }
+
   // The token matrix must account for every remaining payload byte: a
   // frame with leftover (or missing) bytes after its declared fields is
   // malformed, not silently tolerated.
@@ -151,6 +159,37 @@ void encode_response(Buffer& out, const ResponseFrame& f) {
   out.append(f.tokens, f.token_bytes());
 }
 
+void encode_stats_request(Buffer& out, const StatsRequestFrame& f) {
+  if (f.include_traces > 1) {
+    throw std::invalid_argument(
+        "encode: include_traces must be 0 or 1 on the wire");
+  }
+  const std::size_t payload = 2 /*version+type*/ + 8 + 1;
+  out.append_u32(static_cast<std::uint32_t>(payload));
+  out.append_u8(kWireVersion);
+  out.append_u8(static_cast<std::uint8_t>(FrameType::kStatsRequest));
+  out.append_u64(f.correlation);
+  out.append_u8(f.include_traces);
+}
+
+void encode_stats_response(Buffer& out, const StatsResponseFrame& f) {
+  if (f.metrics_json.size() > 0xffffffffu ||
+      f.traces_jsonl.size() > 0xffffffffu) {
+    throw std::invalid_argument(
+        "encode: stats blob exceeds the u32 length field");
+  }
+  const std::size_t payload = 2 + 8 + 4 + f.metrics_json.size() + 4 +
+                              f.traces_jsonl.size();
+  out.append_u32(static_cast<std::uint32_t>(payload));
+  out.append_u8(kWireVersion);
+  out.append_u8(static_cast<std::uint8_t>(FrameType::kStatsResponse));
+  out.append_u64(f.correlation);
+  out.append_u32(static_cast<std::uint32_t>(f.metrics_json.size()));
+  out.append(f.metrics_json.data(), f.metrics_json.size());
+  out.append_u32(static_cast<std::uint32_t>(f.traces_jsonl.size()));
+  out.append(f.traces_jsonl.data(), f.traces_jsonl.size());
+}
+
 DecodeStatus Decoder::fail(std::string why) {
   failed_ = true;
   error_ = std::move(why);
@@ -215,6 +254,24 @@ DecodeStatus Decoder::next(Frame* out) {
     }
     f.error = static_cast<serving::ErrorCode>(error);
     f.replica = static_cast<std::int32_t>(replica);
+  } else if (type == static_cast<std::uint8_t>(FrameType::kStatsRequest)) {
+    out->type = FrameType::kStatsRequest;
+    StatsRequestFrame& f = out->stats_request;
+    f = StatsRequestFrame{};
+    // Exact accounting, like read_tokens: trailing bytes are malformed. The
+    // flag is strictly 0/1 so future bits cannot sneak in unversioned.
+    ok = c.read_u64(&f.correlation) && c.read_u8(&f.include_traces) &&
+         c.left == 0;
+    if (ok && f.include_traces > 1) {
+      return fail("invalid include_traces flag " +
+                  std::to_string(f.include_traces));
+    }
+  } else if (type == static_cast<std::uint8_t>(FrameType::kStatsResponse)) {
+    out->type = FrameType::kStatsResponse;
+    StatsResponseFrame& f = out->stats_response;
+    f = StatsResponseFrame{};
+    ok = c.read_u64(&f.correlation) && c.read_str32(&f.metrics_json) &&
+         c.read_str32(&f.traces_jsonl) && c.left == 0;
   } else {
     return fail("unknown frame type " + std::to_string(type));
   }

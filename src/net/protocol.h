@@ -5,8 +5,8 @@
 //   u32-LE payload_length | payload
 //   payload := version u8 | frame_type u8 | body
 //
-// with exactly two frame types (docs/WIRE.md is the normative spec,
-// including the field tables and the error-code mapping):
+// with four frame types (docs/WIRE.md is the normative spec, including
+// the field tables and the error-code mapping):
 //
 //   kSubmit (client -> server): one inference request —
 //     correlation u64 | deadline_ms u32 |
@@ -17,6 +17,13 @@
 //     correlation u64 | error u8 (serving::ErrorCode) | replica i32 |
 //     model_len u8 | model | session_len u8 | session |
 //     message_len u16 | message | rows u32 | cols u32 | tokens
+//
+//   kStatsRequest (client -> server): telemetry pull —
+//     correlation u64 | include_traces u8 (strictly 0 or 1)
+//
+//   kStatsResponse (server -> client): the telemetry snapshot —
+//     correlation u64 | metrics_len u32 | metrics_json |
+//     traces_len u32 | traces_jsonl
 //
 // The correlation id is a per-connection token the client chooses and the
 // server echoes — it is NOT the service-wide RequestId (those would collide
@@ -61,6 +68,8 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{16} << 20;
 enum class FrameType : std::uint8_t {
   kSubmit = 1,
   kResponse = 2,
+  kStatsRequest = 3,   // client -> server: telemetry snapshot, please
+  kStatsResponse = 4,  // server -> client: registry JSON + trace JSONL
 };
 
 // One request on the wire. Views/pointers alias the decoder's buffer (on
@@ -95,10 +104,33 @@ struct ResponseFrame {
   }
 };
 
+// Telemetry pull (client -> server): ask a live server for its metric
+// registry snapshot, optionally with the sampled trace ring. The
+// correlation id follows the kSubmit convention (per-connection, echoed).
+//   correlation u64 | include_traces u8 (strictly 0 or 1)
+struct StatsRequestFrame {
+  std::uint64_t correlation = 0;
+  std::uint8_t include_traces = 0;
+};
+
+// Telemetry reply (server -> client): two length-prefixed UTF-8 blobs —
+// the registry snapshot as one JSON object and, when traces were
+// requested, the trace ring as JSONL (one record per line; empty when
+// include_traces was 0 or the ring would not fit under max_frame_bytes).
+//   correlation u64 | metrics_len u32 | metrics_json |
+//   traces_len u32 | traces_jsonl
+struct StatsResponseFrame {
+  std::uint64_t correlation = 0;
+  std::string_view metrics_json;
+  std::string_view traces_jsonl;
+};
+
 struct Frame {
   FrameType type = FrameType::kSubmit;
-  SubmitFrame submit;      // valid when type == kSubmit
-  ResponseFrame response;  // valid when type == kResponse
+  SubmitFrame submit;                // valid when type == kSubmit
+  ResponseFrame response;            // valid when type == kResponse
+  StatsRequestFrame stats_request;   // valid when type == kStatsRequest
+  StatsResponseFrame stats_response; // valid when type == kStatsResponse
 };
 
 // Appends one complete frame (prefix included) to `out`. Throws
@@ -107,6 +139,11 @@ struct Frame {
 // without its bytes.
 void encode_submit(Buffer& out, const SubmitFrame& f);
 void encode_response(Buffer& out, const ResponseFrame& f);
+// Stats frames: encode_stats_request throws when include_traces is neither
+// 0 nor 1 (the wire value is strict, see the decoder); encode_stats_response
+// throws when the two blobs would exceed the u32 length fields.
+void encode_stats_request(Buffer& out, const StatsRequestFrame& f);
+void encode_stats_response(Buffer& out, const StatsResponseFrame& f);
 
 enum class DecodeStatus {
   kNeedMore,  // no complete frame buffered yet

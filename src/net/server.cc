@@ -26,6 +26,8 @@
 #include "common/fault.h"
 #include "common/mutex.h"
 #include "common/thread_checker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bt::net {
 
@@ -36,6 +38,60 @@ constexpr std::size_t kRecvChunk = 16384;
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string("net::Server: ") + what + ": " +
                            std::strerror(errno));
+}
+
+// Every error frame queued on the wire, by stable code — the wire-level
+// twin of the scheduler's serving.errors.* family (a backpressure decline
+// or duplicate correlation never reaches an AsyncEngine, so only this
+// layer can count it).
+obs::Counter& wire_error_counter(serving::ErrorCode code) {
+  using serving::ErrorCode;
+  auto& reg = obs::MetricRegistry::global();
+  static obs::Counter& unknown_model =
+      reg.counter("net.server.errors.unknown_model");
+  static obs::Counter& duplicate_id =
+      reg.counter("net.server.errors.duplicate_id");
+  static obs::Counter& backpressure =
+      reg.counter("net.server.errors.backpressure");
+  static obs::Counter& deadline =
+      reg.counter("net.server.errors.deadline_exceeded");
+  static obs::Counter& shutdown = reg.counter("net.server.errors.shutdown");
+  static obs::Counter& internal = reg.counter("net.server.errors.internal");
+  switch (code) {
+    case ErrorCode::kUnknownModel:
+      return unknown_model;
+    case ErrorCode::kDuplicateId:
+      return duplicate_id;
+    case ErrorCode::kBackpressure:
+      return backpressure;
+    case ErrorCode::kDeadlineExceeded:
+      return deadline;
+    case ErrorCode::kShutdown:
+      return shutdown;
+    default:
+      return internal;
+  }
+}
+
+// ServerStats -> "net.server.*" gauges. The registry-side twin of
+// Server::stats(), same dedup rule as EngineStats::publish.
+void publish_server_stats(const ServerStats& s) {
+  auto& reg = obs::MetricRegistry::global();
+  const auto g = [&reg](const char* name, long long v) {
+    reg.gauge(name).set(static_cast<double>(v));
+  };
+  g("net.server.accepted_connections", s.accepted_connections);
+  g("net.server.active_connections", s.active_connections);
+  g("net.server.frames_received", s.frames_received);
+  g("net.server.responses_sent", s.responses_sent);
+  g("net.server.error_frames_sent", s.error_frames_sent);
+  g("net.server.backpressure_replies", s.backpressure_replies);
+  g("net.server.protocol_errors", s.protocol_errors);
+  g("net.server.dropped_completions", s.dropped_completions);
+  g("net.server.idle_disconnects", s.idle_disconnects);
+  g("net.server.slow_peer_disconnects", s.slow_peer_disconnects);
+  g("net.server.inflight_capped", s.inflight_capped);
+  g("net.server.stats_requests", s.stats_requests);
 }
 
 }  // namespace
@@ -360,7 +416,8 @@ struct Server::Impl {
       const DecodeStatus status = conn.decoder.next(&frame);
       if (status == DecodeStatus::kNeedMore) return true;
       if (status == DecodeStatus::kError ||
-          frame.type != FrameType::kSubmit) {
+          (frame.type != FrameType::kSubmit &&
+           frame.type != FrameType::kStatsRequest)) {
         // Unframeable bytes — or a response frame, which only servers
         // send. Either way the stream is garbage: drop the connection,
         // keep the loop.
@@ -368,12 +425,58 @@ struct Server::Impl {
         ++stats.protocol_errors;
         return false;
       }
+      if (frame.type == FrameType::kStatsRequest) {
+        // A write failure here is a dead socket, not a protocol error.
+        if (!handle_stats(conn, frame.stats_request)) return false;
+        continue;
+      }
       if (!handle_submit(conn, frame.submit)) {
         MutexLock lock(stats_mutex);
         ++stats.protocol_errors;
         return false;
       }
     }
+  }
+
+  // Serializes the process-wide telemetry snapshot back to the peer. The
+  // heavy lifting (registry JSON, trace JSONL) runs on the loop thread —
+  // acceptable because stats pulls are rare (a CLI or a per-second poller)
+  // and the blobs are KBs, not frames' worth of fp16. Returns false when
+  // the connection must be closed (send failure).
+  bool handle_stats(Connection& conn, const StatsRequestFrame& f)
+      BT_REQUIRES(loop_thread) {
+    {
+      MutexLock lock(stats_mutex);
+      ++stats.stats_requests;
+    }
+    // Publish the struct-tracked snapshots (service fleet + this server's
+    // wire counters) so the serialized registry reflects this instant, then
+    // snapshot everything in one pass.
+    service.publish_stats();
+    {
+      MutexLock lock(stats_mutex);
+      publish_server_stats(stats);
+    }
+    StatsResponseFrame reply;
+    reply.correlation = f.correlation;
+    const std::string metrics = obs::MetricRegistry::global().to_json();
+    std::string traces;
+    if (f.include_traces != 0) traces = obs::TraceRing::global().to_jsonl();
+    // Clamp rather than kill: a trace ring that would push the frame over
+    // the peer's size limit is dropped (the metrics JSON — a few KB — is
+    // the part a monitoring client cannot do without).
+    const std::size_t fixed = 2 /*version+type*/ + 8 + 4 + 4;
+    if (fixed + metrics.size() + traces.size() > opts.max_frame_bytes) {
+      traces.clear();
+    }
+    reply.metrics_json = metrics;
+    reply.traces_jsonl = traces;
+    encode_stats_response(conn.out, reply);
+    enforce_write_cap(conn);
+    if (conn.doomed) return false;
+    // Flush eagerly, like a completion: a stats poller should not eat a
+    // poll-tick of latency.
+    return flush_writes(conn);
   }
 
   // Returns false on a protocol violation (caller closes the connection).
@@ -463,6 +566,7 @@ struct Server::Impl {
     f.message = message;
     encode_response(conn.out, f);
     enforce_write_cap(conn);
+    wire_error_counter(code).inc();
     MutexLock lock(stats_mutex);
     ++stats.error_frames_sent;
   }
@@ -620,10 +724,15 @@ std::uint16_t Server::port() const {
 }
 
 ServerStats Server::stats() const {
-  MutexLock lock(lifecycle_mutex_);
-  if (impl_ == nullptr) return {};
-  MutexLock slock(impl_->stats_mutex);
-  return impl_->stats;
+  ServerStats copy;
+  {
+    MutexLock lock(lifecycle_mutex_);
+    if (impl_ == nullptr) return {};
+    MutexLock slock(impl_->stats_mutex);
+    copy = impl_->stats;
+  }
+  publish_server_stats(copy);
+  return copy;
 }
 
 }  // namespace bt::net

@@ -107,6 +107,7 @@ struct ServerStats {
   long long slow_peer_disconnects = 0;  // write queue over its byte cap
   long long inflight_capped = 0;        // kBackpressure subset: frames
                                         // declined by the in-flight cap
+  long long stats_requests = 0;         // well-formed kStatsRequest frames
 };
 
 class Server {
@@ -134,6 +135,10 @@ class Server {
   // after start().
   std::uint16_t port() const BT_EXCLUDES(lifecycle_mutex_);
 
+  // Snapshot of the wire-level counters. Also publishes the snapshot into
+  // the global MetricRegistry as "net.server.*" gauges — the same dedup
+  // rule as EngineStats::publish: struct-tracked values reach the registry
+  // only through their snapshot method, never a second live count.
   ServerStats stats() const BT_EXCLUDES(lifecycle_mutex_);
   const ServerOptions& options() const { return opts_; }
 

@@ -1,0 +1,84 @@
+#include "obs/hll.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace bt::obs {
+
+std::uint64_t hll_hash(std::string_view s) {
+  // FNV-1a 64 over the bytes...
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // ...then a splitmix64 finalizer: FNV's low bits are weak and HLL reads
+  // both ends of the word (index from the top, rank from the bottom).
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+void Hll::add_hash(std::uint64_t hash) {
+  // Same kill switch as every recording primitive (metrics.h design rules).
+  // Callers on the hot path may pre-check obs::enabled() to skip the hash.
+  if (!enabled()) return;
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(hash >> (64 - kPrecision));
+  // Rank = position of the leftmost 1-bit in the remaining 64-p bits,
+  // counting from 1; an all-zero remainder gets the sentinel 64-p+1.
+  const std::uint64_t rest = hash << kPrecision;
+  std::uint8_t rank = 1;
+  if (rest == 0) {
+    rank = static_cast<std::uint8_t>(64 - kPrecision + 1);
+  } else {
+    std::uint64_t probe = 1ULL << 63;
+    while (!(rest & probe)) {
+      ++rank;
+      probe >>= 1;
+    }
+  }
+  std::atomic<std::uint8_t>& slot = regs_[idx];
+  std::uint8_t cur = slot.load(std::memory_order_relaxed);
+  while (rank > cur &&
+         !slot.compare_exchange_weak(cur, rank, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Hll::estimate() const {
+  const double m = kRegisters;
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double inv_sum = 0.0;
+  int zeros = 0;
+  for (const auto& slot : regs_) {
+    const std::uint8_t r = slot.load(std::memory_order_relaxed);
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / zeros);  // linear counting: small-range bias
+  }
+  return raw;
+}
+
+void Hll::merge(const Hll& other) {
+  for (int i = 0; i < kRegisters; ++i) {
+    const std::uint8_t theirs = other.regs_[i].load(std::memory_order_relaxed);
+    std::atomic<std::uint8_t>& slot = regs_[i];
+    std::uint8_t cur = slot.load(std::memory_order_relaxed);
+    while (theirs > cur &&
+           !slot.compare_exchange_weak(cur, theirs, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void Hll::clear() {
+  for (auto& slot : regs_) slot.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bt::obs

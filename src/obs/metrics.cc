@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace bt::obs {
+
+std::uint64_t LatencyHistogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Same rank convention as bt::stats::percentile: the sample at index
+  // floor(p * (n - 1)) of the sorted list, i.e. 1-based rank idx+1.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(count - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) {
+      // Clamp to the observed extremes: the top/bottom buckets' nominal
+      // bounds can be far looser than what was actually recorded.
+      std::uint64_t v = bucket_upper(i);
+      if (v > max) v = max;
+      if (v < min) v = min;
+      return v;
+    }
+  }
+  return max;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = (s.count && mn != ~std::uint64_t{0}) ? mn : 0;
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t n = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    n += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (!enabled()) return;
+  const Snapshot s = other.snapshot();
+  for (int i = 0; i < kBuckets; ++i) {
+    if (s.buckets[i]) {
+      buckets_[i].fetch_add(s.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  if (s.count) {
+    sum_.fetch_add(s.sum, std::memory_order_relaxed);
+    atomic_min(min_, s.min);
+    atomic_max(max_, s.max);
+  }
+}
+
+void LatencyHistogram::reset() {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry* reg = new MetricRegistry();  // never destroyed:
+  return *reg;  // instrument sites may record during static teardown
+}
+
+namespace {
+template <typename T>
+T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                 std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+}  // namespace
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  MutexLock lock(mutex_);
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  MutexLock lock(mutex_);
+  return get_or_create(gauges_, name);
+}
+
+LatencyHistogram& MetricRegistry::histogram(std::string_view name) {
+  MutexLock lock(mutex_);
+  return get_or_create(histograms_, name);
+}
+
+Hll& MetricRegistry::hll(std::string_view name) {
+  MutexLock lock(mutex_);
+  return get_or_create(hlls_, name);
+}
+
+Hll& MetricRegistry::hll_prefixed(std::string_view prefix,
+                                  std::string_view suffix) {
+  std::string name;
+  name.reserve(prefix.size() + 1 + suffix.size());
+  name.append(prefix);
+  name.push_back('.');
+  name.append(suffix);
+  return hll(name);
+}
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  RegistrySnapshot s;
+  MutexLock lock(mutex_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  s.hlls.reserve(hlls_.size());
+  for (const auto& [name, h] : hlls_) s.hlls.emplace_back(name, h->estimate());
+  return s;
+}
+
+void MetricRegistry::reset_for_testing() {
+  MutexLock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : hlls_) h->clear();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+// %.17g round-trips doubles; trims to a clean integer form where possible.
+std::string json_number(double v) {
+  char buf[32];
+  if (v == static_cast<long long>(v) && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"p50\":" + std::to_string(h.percentile(0.50));
+    out += ",\"p90\":" + std::to_string(h.percentile(0.90));
+    out += ",\"p99\":" + std::to_string(h.percentile(0.99));
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (!h.buckets[i]) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += '[' + std::to_string(LatencyHistogram::bucket_upper(i)) + ',' +
+             std::to_string(h.buckets[i]) + ']';
+    }
+    out += "]}";
+  }
+  out += "},\"hlls\":{";
+  first = true;
+  for (const auto& [name, v] : hlls) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(v);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace bt::obs

@@ -1,0 +1,245 @@
+// Process-wide metric registry: lock-free counters/gauges and a
+// fixed-bucket log2 latency histogram, cheap enough to stay enabled on
+// production hot paths (one relaxed atomic add per event — benchmarked in
+// bench/bench_obs.cc, catalogued in docs/OBSERVABILITY.md).
+//
+// Design rules:
+//   - Registration (MetricRegistry::counter("name") etc.) takes a mutex
+//     and is NOT hot-path safe; instrument sites resolve their metrics
+//     once (constructor, function-local static) and keep the reference.
+//     Returned references are stable for the registry's lifetime (node
+//     based storage) — the global registry never dies.
+//   - Recording (inc/set/add/record) is a relaxed atomic op, safe from
+//     any thread, never throws, never allocates.
+//   - The whole layer has a kill switch: obs::set_enabled(false) turns
+//     every recording site into a single relaxed load + branch, and
+//     building with -DBT_OBS_DISABLED=1 (cmake -DBT_OBS_METRICS=OFF)
+//     compiles recording out entirely. bench_obs measures both.
+//
+// Name hygiene: tools/lint.sh rule 5 requires every literal metric name
+// registered in src/ to appear in the docs/OBSERVABILITY.md catalog.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "obs/hll.h"
+
+namespace bt::obs {
+
+#ifdef BT_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+}  // namespace detail
+
+// Whether telemetry was compiled into this build at all.
+inline constexpr bool compiled_in() { return kCompiledIn; }
+
+// Runtime kill switch (default on). With telemetry compiled in, disabling
+// reduces every recording site to one relaxed load + branch — the cheapest
+// honest approximation of "compiled out" measurable in a single binary.
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+inline bool enabled() {
+  return kCompiledIn && detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+// Monotonic event counter. inc() is one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(long long n = 1) {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+// Last-writer-wins instantaneous value (queue depth, published snapshot
+// fields). add() is a CAS loop — contended adders all land, but a gauge is
+// a level, not a count: prefer set() where the level is known.
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) {
+    if (!enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket log2 histogram. Values are recorded as unsigned "ticks";
+// bucket i holds values whose bit width is i (i.e. [2^(i-1), 2^i - 1]),
+// bucket 0 holds zero. 64 buckets cover the full u64 range, so nanosecond
+// latencies from 1 ns to ~584 years land without configuration.
+//
+// record() is one relaxed fetch_add on the bucket plus count/sum upkeep —
+// no locks, mergeable across histograms, and percentile(p) is exact to
+// within the 2x bucket resolution (returned as the bucket's upper bound,
+// the conservative answer for latency SLOs).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  // Raw-tick record (dimensionless values: batch occupancy, bytes, ...).
+  void record(std::uint64_t v) {
+    if (!enabled()) return;
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+  }
+
+  // Latency record: seconds -> integer nanoseconds. Negative values clamp
+  // to zero (clock skew must not underflow into the top bucket).
+  void record_seconds(double seconds) {
+    record(seconds <= 0.0 ? 0
+                          : static_cast<std::uint64_t>(seconds * 1e9 + 0.5));
+  }
+
+  // Consistent point-in-time view: counts are summed from one copy of the
+  // buckets, so a percentile computed from a snapshot can never see a
+  // count/bucket mismatch from racing recorders.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  // 0 when empty
+    std::uint64_t max = 0;
+
+    // Nearest-rank percentile over the bucketed distribution, returned as
+    // the bucket's upper bound in ticks. Matches bt::stats::percentile's
+    // rank convention (index p*(n-1) into the sorted samples) so the two
+    // agree to within bucket resolution. Returns 0 on an empty histogram.
+    std::uint64_t percentile(double p) const;
+    double percentile_seconds(double p) const { return percentile(p) / 1e9; }
+    double mean() const { return count ? static_cast<double>(sum) / count : 0; }
+  };
+
+  Snapshot snapshot() const;
+  std::uint64_t count() const;
+  std::uint64_t percentile(double p) const { return snapshot().percentile(p); }
+  double percentile_seconds(double p) const {
+    return snapshot().percentile_seconds(p);
+  }
+
+  // Adds `other`'s events into this histogram (replica -> fleet rollup).
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  // Bucket i's inclusive upper bound in ticks (2^i - 1; bucket 0 holds
+  // exactly zero). Exposed for tests and the JSON dump.
+  static std::uint64_t bucket_upper(int i) {
+    return i == 0 ? 0 : (i >= 64 ? ~std::uint64_t{0} : (1ULL << i) - 1);
+  }
+  static int bucket_of(std::uint64_t v) {
+    int b = 0;
+    while (v) {
+      ++b;
+      v >>= 1;
+    }
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+
+ private:
+  static void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur && !slot.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Point-in-time copy of every metric in a registry, serializable to JSON.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>> histograms;
+  std::vector<std::pair<std::string, double>> hlls;  // cardinality estimates
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+  // {count,sum,min,max,p50,p90,p99,buckets:[[upper,count],...]}},
+  // "hlls":{...}}. Stable key order (sorted by name).
+  std::string to_json() const;
+};
+
+// Create-or-get registry of named metrics. Names are namespaced per metric
+// kind (a counter and a gauge may share a name; they serialize under
+// separate JSON sections). The returned references remain valid for the
+// registry's lifetime.
+class MetricRegistry {
+ public:
+  static MetricRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+  Hll& hll(std::string_view name);
+  // Registers "<prefix>.<suffix>" — for per-model families whose suffix is
+  // only known at runtime. lint.sh rule 5 checks the literal prefix.
+  Hll& hll_prefixed(std::string_view prefix, std::string_view suffix);
+
+  RegistrySnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+
+  // Zeroes every counter/gauge/histogram and clears every HLL. For benches
+  // and the simulator's per-policy sections; production never resets.
+  void reset_for_testing();
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      BT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      BT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_ BT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Hll>, std::less<>> hlls_
+      BT_GUARDED_BY(mutex_);
+};
+
+// Minimal JSON string escaping for metric/model/session names.
+std::string json_escape(std::string_view s);
+
+}  // namespace bt::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace bt::obs {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+namespace {
+std::string field(const char* name, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.9f", name, v);
+  return buf;
+}
+}  // namespace
+
+std::string TraceRecord::to_json() const {
+  std::string out = "{";
+  out += "\"id\":" + std::to_string(request_id);
+  out += ",\"model\":\"" + json_escape(model) + '"';
+  out += ",\"session\":\"" + json_escape(session) + '"';
+  out += ",\"replica\":" + std::to_string(replica);
+  out += ",\"round\":" + std::to_string(round);
+  out += ",\"batch_requests\":" + std::to_string(batch_requests);
+  out += ",\"valid_tokens\":" + std::to_string(valid_tokens);
+  out += ",\"round_valid_tokens\":" + std::to_string(round_valid_tokens);
+  out +=
+      ",\"round_processed_tokens\":" + std::to_string(round_processed_tokens);
+  out += ',' + field("t_submit", t_submit);
+  out += ',' + field("t_window_close", t_window_close);
+  out += ',' + field("t_admit", t_admit);
+  out += ',' + field("t_dispatch", t_dispatch);
+  out += ',' + field("t_compute_start", t_compute_start);
+  out += ',' + field("t_compute_end", t_compute_end);
+  out += ',' + field("t_replied", t_replied);
+  out += '}';
+  return out;
+}
+
+TraceRing& TraceRing::global() {
+  static TraceRing* ring = new TraceRing();  // never destroyed (see
+  return *ring;                              // MetricRegistry::global)
+}
+
+TraceRing::TraceRing(std::size_t capacity, std::size_t sample_every)
+    : capacity_(capacity), sample_every_(sample_every) {}
+
+void TraceRing::configure(std::size_t capacity, std::size_t sample_every) {
+  MutexLock lock(mutex_);
+  capacity_ = capacity;
+  sample_every_ = sample_every;
+  ring_.clear();
+  next_ = 0;
+  seen_ = 0;
+  recorded_ = 0;
+}
+
+void TraceRing::record(TraceRecord rec) {
+  if (!enabled()) return;
+  MutexLock lock(mutex_);
+  if (sample_every_ == 0 || capacity_ == 0) return;
+  if (static_cast<std::size_t>(seen_++) % sample_every_ != 0) return;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[next_] = std::move(rec);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  MutexLock lock(mutex_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, next_ points at the oldest record.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::to_jsonl() const {
+  std::string out;
+  for (const TraceRecord& rec : snapshot()) {
+    out += rec.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+void TraceRing::clear() {
+  MutexLock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  seen_ = 0;
+  recorded_ = 0;
+}
+
+long long TraceRing::seen() const {
+  MutexLock lock(mutex_);
+  return seen_;
+}
+
+long long TraceRing::recorded() const {
+  MutexLock lock(mutex_);
+  return recorded_;
+}
+
+}  // namespace bt::obs

@@ -6,8 +6,83 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bt::serving {
+
+namespace {
+
+// Hot-path metrics, resolved once (docs/OBSERVABILITY.md catalogs them).
+// Every replica in the process shares these: they are fleet-level rates
+// and distributions; per-replica splits live in the stats structs.
+struct Instruments {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& shed;
+  obs::Counter& rounds;
+  obs::Counter& valid_tokens;
+  obs::Counter& processed_tokens;
+  obs::Gauge& queue_depth;
+  obs::Gauge& in_flight;
+  obs::LatencyHistogram& queue_seconds;
+  obs::LatencyHistogram& e2e_seconds;
+  obs::LatencyHistogram& compute_seconds;
+  obs::LatencyHistogram& batch_occupancy;
+};
+
+Instruments& instruments() {
+  auto& reg = obs::MetricRegistry::global();
+  static Instruments ins{
+      reg.counter("serving.requests.submitted"),
+      reg.counter("serving.requests.completed"),
+      reg.counter("serving.requests.failed"),
+      reg.counter("serving.requests.shed"),
+      reg.counter("serving.rounds"),
+      reg.counter("serving.tokens.valid"),
+      reg.counter("serving.tokens.processed"),
+      reg.gauge("serving.queue.depth"),
+      reg.gauge("serving.inflight"),
+      reg.histogram("serving.latency.queue_seconds"),
+      reg.histogram("serving.latency.e2e_seconds"),
+      reg.histogram("serving.latency.compute_seconds"),
+      reg.histogram("serving.round.batch_requests"),
+  };
+  return ins;
+}
+
+// Per-error-code failure counters; the kOk/default arm absorbs anything
+// untyped (it is wrapped as kInternal before reaching the caller anyway).
+obs::Counter& failure_counter(ErrorCode code) {
+  auto& reg = obs::MetricRegistry::global();
+  static obs::Counter& unknown_model =
+      reg.counter("serving.errors.unknown_model");
+  static obs::Counter& duplicate_id =
+      reg.counter("serving.errors.duplicate_id");
+  static obs::Counter& backpressure =
+      reg.counter("serving.errors.backpressure");
+  static obs::Counter& deadline_exceeded =
+      reg.counter("serving.errors.deadline_exceeded");
+  static obs::Counter& shutdown = reg.counter("serving.errors.shutdown");
+  static obs::Counter& internal = reg.counter("serving.errors.internal");
+  switch (code) {
+    case ErrorCode::kUnknownModel:
+      return unknown_model;
+    case ErrorCode::kDuplicateId:
+      return duplicate_id;
+    case ErrorCode::kBackpressure:
+      return backpressure;
+    case ErrorCode::kDeadlineExceeded:
+      return deadline_exceeded;
+    case ErrorCode::kShutdown:
+      return shutdown;
+    default:
+      return internal;
+  }
+}
+
+}  // namespace
 
 AsyncEngine::AsyncEngine(std::shared_ptr<const core::BertModel> model,
                          AsyncEngineOptions opts)
@@ -40,6 +115,9 @@ std::future<Response> AsyncEngine::enqueue_reserved_locked(Request&& req,
   queued_tokens_ += q.hidden.dim(0);
   if (q.deadline.has_value()) ++deadline_count_;
   queue_.push_back(std::move(q));
+  Instruments& ins = instruments();
+  ins.submitted.inc();
+  ins.queue_depth.add(1);
   cv_work_.notify_one();
   return fut;
 }
@@ -201,6 +279,13 @@ void AsyncEngine::scheduler_loop() {
       if (queue_.empty()) continue;  // unreachable today; defensive
     }
 
+    // The batching window for this round is closed from here on (whether it
+    // expired, filled, or was never opened) — the first trace stage the
+    // scheduler stamps. The lock is held from this stamp through the pop,
+    // so no request can be admitted after "window close" yet trace an
+    // earlier submit ordering.
+    const auto t_window_close = Clock::now();
+
     // Pop the admitted requests in admission (FIFO or earliest-deadline-
     // first) order; submitters may refill the queue while the round
     // computes.
@@ -237,6 +322,10 @@ void AsyncEngine::scheduler_loop() {
     queued_tokens_ -= round_tokens;
     in_flight_tokens_ += round_tokens;
     in_flight_ += count;
+    const auto t_admit = Clock::now();
+    Instruments& ins = instruments();
+    ins.queue_depth.add(-static_cast<double>(count));
+    ins.in_flight.add(static_cast<double>(count));
     const auto round_start = Clock::now();
     lock.unlock();
     cv_space_.notify_all();
@@ -272,9 +361,23 @@ void AsyncEngine::scheduler_loop() {
       stats_.deadline_shed = deadline_shed_;
       for (Queued& q : shed) q.promise.set_exception(shed_error);
       lock.unlock();
+      ins.in_flight.add(-static_cast<double>(shed.size()));
+      ins.shed.inc(static_cast<long long>(shed.size()));
+      failure_counter(ErrorCode::kDeadlineExceeded)
+          .inc(static_cast<long long>(shed.size()));
     }
 
     // Compute outside the lock: the inner Engine is only ever touched here.
+    // Per-request valid-token counts are captured up front — the hiddens
+    // are moved out during compute, and the trace records need them.
+    std::vector<long long> live_rows;
+    live_rows.reserve(live.size());
+    long long live_tokens = 0;
+    for (const Queued& q : live) {
+      live_rows.push_back(q.hidden.dim(0));
+      live_tokens += q.hidden.dim(0);
+    }
+    const auto t_compute_start = Clock::now();
     std::vector<Response> responses;
     bool failed = false;
     std::exception_ptr error;
@@ -303,6 +406,7 @@ void AsyncEngine::scheduler_loop() {
       failed = true;
       error = std::current_exception();
     }
+    const auto t_compute_end = Clock::now();
 
     // Accounting and fulfillment happen together under the lock, so
     // pending() never counts a request whose future already resolved (and
@@ -310,6 +414,7 @@ void AsyncEngine::scheduler_loop() {
     lock.lock();
     in_flight_ -= count;  // the live share; shed accounting settled above
     in_flight_tokens_ -= round_tokens;
+    const long long prev_processed = stats_.processed_tokens;
     stats_ = engine_.stats();
     if (failed || responses.size() != live.size()) {
       if (!error) {
@@ -330,6 +435,9 @@ void AsyncEngine::scheduler_loop() {
       }
       health_.failed += static_cast<long long>(live.size());
       health_.consecutive_failures += static_cast<long long>(live.size());
+      ins.failed.inc(static_cast<long long>(live.size()));
+      failure_counter(error_code_of(error, ErrorCode::kInternal))
+          .inc(static_cast<long long>(live.size()));
       for (Queued& q : live) q.promise.set_exception(error);
       // A mid-compute failure leaves the round's unprocessed requests
       // queued inside the inner engine; drop them so they cannot bleed into
@@ -346,6 +454,11 @@ void AsyncEngine::scheduler_loop() {
         health_.consecutive_failures = 0;
       }
       const auto resolved_at = Clock::now();
+      const long long round_processed =
+          stats_.processed_tokens - prev_processed;
+      std::vector<obs::TraceRecord> traced;
+      const bool tracing = obs::enabled() && !live.empty();
+      if (tracing) traced.reserve(live.size());
       for (std::size_t i = 0; i < live.size(); ++i) {
         responses[i].queue_seconds =
             std::chrono::duration<double>(round_start - live[i].arrival)
@@ -356,9 +469,50 @@ void AsyncEngine::scheduler_loop() {
           (resolved_at <= *live[i].deadline) ? ++deadline_met_
                                              : ++deadline_missed_;
         }
+        ins.queue_seconds.record_seconds(responses[i].queue_seconds);
+        ins.e2e_seconds.record_seconds(
+            std::chrono::duration<double>(resolved_at - live[i].arrival)
+                .count());
+        if (tracing) {
+          obs::TraceRecord rec;
+          rec.request_id = responses[i].id;
+          rec.model = opts_.model_name;
+          if (responses[i].session.has_value()) {
+            rec.session = *responses[i].session;
+          }
+          rec.replica = opts_.replica_index;
+          rec.round = responses[i].round;
+          rec.batch_requests = static_cast<int>(live.size());
+          rec.valid_tokens = live_rows[i];
+          rec.round_valid_tokens = live_tokens;
+          rec.round_processed_tokens = round_processed;
+          rec.t_submit = obs::trace_seconds(live[i].arrival);
+          rec.t_window_close = obs::trace_seconds(t_window_close);
+          rec.t_admit = obs::trace_seconds(t_admit);
+          rec.t_dispatch = obs::trace_seconds(round_start);
+          rec.t_compute_start = obs::trace_seconds(t_compute_start);
+          rec.t_compute_end = obs::trace_seconds(t_compute_end);
+          rec.t_replied = obs::trace_seconds(resolved_at);
+          traced.push_back(std::move(rec));
+        }
         live[i].promise.set_value(std::move(responses[i]));
       }
+      if (!live.empty()) {
+        ins.completed.inc(static_cast<long long>(live.size()));
+        ins.rounds.inc();
+        ins.valid_tokens.inc(live_tokens);
+        ins.processed_tokens.inc(round_processed);
+        ins.compute_seconds.record_seconds(
+            std::chrono::duration<double>(t_compute_end - t_compute_start)
+                .count());
+        ins.batch_occupancy.record(live.size());
+      }
+      // Ring insertion after the promises resolve: callers are not kept
+      // waiting behind the trace mutex.
+      obs::TraceRing& ring = obs::TraceRing::global();
+      for (obs::TraceRecord& rec : traced) ring.record(std::move(rec));
     }
+    ins.in_flight.add(-static_cast<double>(count));
     // Overlay the executor-level deadline accounting onto the inner
     // engine's snapshot (which cannot know about deadlines or shedding).
     stats_.deadline_met = deadline_met_;
@@ -374,6 +528,11 @@ void AsyncEngine::scheduler_loop() {
   if (!queue_.empty()) {
     auto error = std::make_exception_ptr(ShutdownError(
         "AsyncEngine: scheduler exited with undispatched requests"));
+    Instruments& ins = instruments();
+    ins.queue_depth.add(-static_cast<double>(queue_.size()));
+    ins.failed.inc(static_cast<long long>(queue_.size()));
+    failure_counter(ErrorCode::kShutdown)
+        .inc(static_cast<long long>(queue_.size()));
     for (Queued& q : queue_) q.promise.set_exception(error);
     queue_.clear();
     queued_tokens_ = 0;

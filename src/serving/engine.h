@@ -41,6 +41,10 @@
 #include "serving/scheduler.h"
 #include "tensor/tensor.h"
 
+namespace bt::obs {
+class MetricRegistry;  // obs/metrics.h — EngineStats::publish target
+}
+
 namespace bt::serving {
 
 using RequestId = std::int64_t;
@@ -241,6 +245,14 @@ struct EngineStats {
   long long deadline_shed = 0;
 
   long long padding_tokens() const { return processed_tokens - valid_tokens; }
+
+  // Publishes every field as a gauge named "<prefix>.<field>" — merge's
+  // registry-side twin, so the wire stats snapshot (docs/OBSERVABILITY.md)
+  // and this struct cannot drift: both views are written by the same two
+  // methods that know every field. Service::stats() publishes the fleet
+  // aggregate under "serving.stats" and each model under
+  // "serving.model.<name>".
+  void publish(obs::MetricRegistry& reg, const std::string& prefix) const;
 
   // Accumulates `o` into this — the one place that knows every field, so
   // fleet-level aggregation (EnginePool::stats, Service::stats) cannot

@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/hll.h"
+#include "obs/metrics.h"
+
 namespace bt::serving {
 
 namespace {
@@ -54,6 +57,11 @@ EnginePool::EnginePool(std::shared_ptr<const core::BertModel> model,
     // deliberate off, which stays off).
     replica_opts.engine.session_workspaces = kStickySessionWorkspaces;
   }
+  // Per-model unique-session cardinality. Bare pools share one "default"
+  // estimator; Service-owned pools get their registry name.
+  sessions_hll_ = &obs::MetricRegistry::global().hll_prefixed(
+      "serving.sessions.unique",
+      opts_.model_name.empty() ? "default" : opts_.model_name);
   router_ = make_router(opts_.route);
   routed_.resize(static_cast<std::size_t>(opts_.replicas));
   breakers_.resize(static_cast<std::size_t>(opts_.replicas));
@@ -160,6 +168,10 @@ EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
   if (req.session.has_value()) {
     route_req.session = *req.session;
     decision.sessioned = true;
+    // Lock-free CAS-max on 4 KiB of registers — cheap enough to sit on the
+    // routing path. Deliberately not undone by undo_route: the session was
+    // seen, whether or not this particular submit landed.
+    if (obs::enabled()) sessions_hll_->add(*req.session);
   }
   // sticky_hit: an existing pin decided the pick (reported by the router so
   // the hot path pays exactly one pin lookup).
@@ -332,6 +344,26 @@ EnginePool::BreakerStats EnginePool::breaker_stats() const {
   MutexLock lock(mutex_);
   refresh_breakers_locked();
   return breaker_stats_;
+}
+
+double EnginePool::unique_sessions() const { return sessions_hll_->estimate(); }
+
+void EnginePool::publish_stats(obs::MetricRegistry& reg,
+                               const std::string& prefix) const {
+  stats().publish(reg, prefix);
+  const SessionRouteStats sessions = session_route_stats();
+  const BreakerStats breaker = breaker_stats();
+  const auto set = [&](const char* field, double v) {
+    reg.gauge(prefix + '.' + field).set(v);
+  };
+  set("session_requests", static_cast<double>(sessions.session_requests));
+  set("sticky_hits", static_cast<double>(sessions.sticky_hits));
+  set("breaker_quarantines", static_cast<double>(breaker.quarantines));
+  set("breaker_probes", static_cast<double>(breaker.probes));
+  set("breaker_readmissions", static_cast<double>(breaker.readmissions));
+  set("pending", static_cast<double>(pending()));
+  set("unique_sessions", unique_sessions());
+  set("replicas", static_cast<double>(replicas()));
 }
 
 std::optional<std::size_t> EnginePool::pinned_replica(

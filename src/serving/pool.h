@@ -67,6 +67,11 @@
 #include "serving/async_engine.h"
 #include "serving/router.h"
 
+namespace bt::obs {
+class Hll;             // obs/hll.h — per-model unique-session cardinality
+class MetricRegistry;  // obs/metrics.h — publish_stats target
+}
+
 namespace bt::serving {
 
 // Session-workspace cache depth EnginePool configures on each replica when
@@ -174,6 +179,18 @@ class EnginePool {
   };
   BreakerStats breaker_stats() const BT_EXCLUDES(mutex_);
 
+  // HyperLogLog estimate of distinct session ids routed through this pool
+  // (4 KiB of state; ~1.6% standard error — obs/hll.h).
+  double unique_sessions() const;
+
+  // Publishes this pool's whole snapshot family — EngineStats fields plus
+  // session-route, breaker, pending, and unique-session gauges — under
+  // "<prefix>.<field>" in `reg`. The registry-side twin of the snapshot
+  // methods above, so the wire stats view cannot drift from them
+  // (docs/OBSERVABILITY.md).
+  void publish_stats(obs::MetricRegistry& reg, const std::string& prefix) const
+      BT_EXCLUDES(mutex_);
+
   // One replica's health counters (forwarded from AsyncEngine::health).
   ReplicaHealth replica_health(std::size_t i) const {
     return engines_[i]->health();
@@ -257,6 +274,9 @@ class EnginePool {
   // mutable: refreshed by const observers (see refresh_breakers_locked).
   mutable std::vector<Breaker> breakers_ BT_GUARDED_BY(mutex_);
   mutable BreakerStats breaker_stats_ BT_GUARDED_BY(mutex_);
+  // Registry-owned HLL ("serving.sessions.unique.<model>"); adds are
+  // lock-free, so no guard beyond the registry's own lifetime guarantee.
+  obs::Hll* sessions_hll_ = nullptr;
   bool stop_ BT_GUARDED_BY(mutex_) = false;
 };
 

@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bt::serving {
 
 namespace {
@@ -11,6 +13,15 @@ std::future<Response> resolved_error_future(std::exception_ptr error) {
   std::promise<Response> promise;
   promise.set_exception(std::move(error));
   return promise.get_future();
+}
+
+// Unknown-model rejections never reach an AsyncEngine (the request enters
+// no pool), so the scheduler-side failure counters cannot see them; count
+// them here at the only place they happen.
+obs::Counter& unknown_model_counter() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("serving.errors.unknown_model");
+  return c;
 }
 
 }  // namespace
@@ -63,6 +74,7 @@ std::future<Response> Service::submit(Request req) {
       // Routing error, not a programming error: resolve the future the
       // caller already awaits instead of throwing, and burn no request id
       // (the request never entered any pool).
+      unknown_model_counter().inc();
       return resolved_error_future(std::make_exception_ptr(UnknownModelError(
           "Service::submit: unknown model \"" + name + "\"")));
     }
@@ -97,6 +109,7 @@ std::optional<std::future<Response>> Service::try_submit(Request req) {
   if (stop_) return std::nullopt;
   const auto it = index_.find(name);
   if (it == index_.end()) {
+    unknown_model_counter().inc();
     return resolved_error_future(std::make_exception_ptr(UnknownModelError(
         "Service::try_submit: unknown model \"" + name + "\"")));
   }
@@ -155,6 +168,21 @@ EngineStats Service::stats(std::string_view model) const {
 
 const EnginePool& Service::pool(std::string_view model) const {
   return pool_at(model);
+}
+
+void Service::publish_stats() const {
+  auto& reg = obs::MetricRegistry::global();
+  stats().publish(reg, "serving.stats");
+  const EnginePool::SessionRouteStats sessions = session_route_stats();
+  reg.gauge("serving.route.session_requests")
+      .set(static_cast<double>(sessions.session_requests));
+  reg.gauge("serving.route.sticky_hits")
+      .set(static_cast<double>(sessions.sticky_hits));
+  reg.gauge("serving.pending").set(static_cast<double>(pending()));
+  const std::vector<std::string>& names = registry_.names();
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    pools_[i]->publish_stats(reg, "serving.model." + names[i]);
+  }
 }
 
 EnginePool::SessionRouteStats Service::session_route_stats() const {

@@ -118,6 +118,14 @@ class Service {
   const EnginePool& pool(std::string_view model) const;
   EnginePool::SessionRouteStats session_route_stats() const;
 
+  // Publishes the fleet snapshot into the global MetricRegistry: the
+  // aggregate EngineStats under "serving.stats.*", fleet session-route
+  // gauges under "serving.route.*", and each model's full pool family
+  // under "serving.model.<name>.*". The wire stats frame calls this before
+  // serializing, so `bt_stats` always reports exactly what stats() would —
+  // one aggregation path, no drift (docs/OBSERVABILITY.md).
+  void publish_stats() const;
+
   std::size_t pending() const;       // across every model's pool
   long long pending_tokens() const;
 

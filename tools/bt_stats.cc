@@ -1,0 +1,94 @@
+// bt_stats — pull a live server's telemetry snapshot over the wire.
+//
+//   bt_stats --port P [--traces] [--interval S] [--count N]
+//
+// Connects to 127.0.0.1:P, sends a kStatsRequest frame (net/protocol.h),
+// and prints the server's metric-registry snapshot — one JSON object per
+// pull — on stdout. --traces appends the server's sampled trace ring
+// (JSONL, one record per line) after each snapshot. --interval polls every
+// S seconds until interrupted (or N pulls with --count). Exit status is 0
+// when every pull succeeded, 1 otherwise.
+//
+// The snapshot is exactly what the in-process observers report: the server
+// publishes its Service/Server struct snapshots into the registry before
+// serializing (docs/OBSERVABILITY.md), so counters here equal what a
+// co-located caller of Service::stats() would see.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--traces] [--interval seconds] "
+               "[--count N]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  bool traces = false;
+  double interval = 0.0;
+  long count = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--traces") {
+      traces = true;
+    } else if (arg == "--interval") {
+      interval = std::strtod(next(), nullptr);
+      count = -1;  // poll until interrupted unless --count narrows it
+    } else if (arg == "--count") {
+      count = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "bt_stats: unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    bt::net::Client client(port);
+    for (long pull = 0; count < 0 || pull < count; ++pull) {
+      if (pull > 0 && interval > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      }
+      bt::net::WireStats stats = client.fetch_stats(traces).get();
+      std::printf("%s\n", stats.metrics_json.c_str());
+      if (traces && !stats.traces_jsonl.empty()) {
+        std::fputs(stats.traces_jsonl.c_str(), stdout);
+      }
+      std::fflush(stdout);
+    }
+    client.close();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bt_stats: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -22,6 +22,11 @@
 #      invisible to operators writing chaos configs — and to the reviewer
 #      deciding whether the injection site is safe.
 #
+#   5. Every metric name registered against obs::MetricRegistry in src/ is
+#      documented in the docs/OBSERVABILITY.md catalog. An undocumented
+#      metric is a dashboard nobody can build and a name nobody reviews
+#      for collision with the existing namespace.
+#
 # Exit 0 = clean, 1 = violations (printed per rule). Run from anywhere.
 set -u
 
@@ -84,6 +89,7 @@ check_nothrow src/net/server.cc 'void pump_loop()'
 check_nothrow src/net/server.cc 'void process_completions()'
 check_nothrow src/net/server.cc 'bool handle_readable('
 check_nothrow src/net/server.cc 'bool handle_submit('
+check_nothrow src/net/server.cc 'bool handle_stats('
 check_nothrow src/net/client.cc 'Client::receive_loop'
 check_nothrow src/net/client.cc 'Client::retry_loop'
 
@@ -120,8 +126,37 @@ if [[ -n "$points" ]]; then
   fi
 fi
 
+# ---- rule 5: every registered metric name is in the observability catalog ---
+# Metric names are dotted `serving.*` / `net.*` string literals handed to
+# obs::MetricRegistry — directly (reg.counter("serving.rounds")) or as the
+# literal prefix of a composed name ("serving.model." + name). Every such
+# literal in src/ is either a metric name/prefix or a fault point, and
+# rule 4 already extracted the fault points — subtract them. The registry's
+# own sources (src/obs/) define the API, they don't place product metrics,
+# so their doc-comment examples are exempt.
+metrics=$(grep -rhoE '"(serving|net|obs)\.[a-z0-9_.]+"' \
+          --include='*.h' --include='*.cc' --exclude-dir=obs src/ \
+          | tr -d '"' | sort -u \
+          | grep -vxF -f <(printf '%s\n' "$points"))
+if [[ -n "$metrics" ]]; then
+  if [[ ! -f docs/OBSERVABILITY.md ]]; then
+    note "rule 5: metrics are registered in src/ but docs/OBSERVABILITY.md is"
+    note "missing — the metric catalog must document every registered name."
+    fail=1
+  else
+    while IFS= read -r metric; do
+      if ! grep -qF "$metric" docs/OBSERVABILITY.md; then
+        note "rule 5: metric \"$metric\" is registered in src/ but absent from"
+        note "the docs/OBSERVABILITY.md catalog — add a row for it."
+        fail=1
+      fi
+    done <<< "$metrics"
+  fi
+fi
+
 if [[ $fail -eq 0 ]]; then
   note "lint: clean (no raw sync members, no scheduler-thread throws,"
-  note "every mutex guards annotated state, every fault point documented)"
+  note "every mutex guards annotated state, every fault point and every"
+  note "registered metric documented)"
 fi
 exit $fail
