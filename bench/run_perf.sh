@@ -18,6 +18,13 @@
 #   BENCH_serving_faults.json — resilience cost (BM_ServingFaults): req/s
 #                        and p50/p99 at 0%/1%/5% injected fault rate with
 #                        retrying clients, plus frames re-sent per run
+#   BENCH_serving_cache.json — prefix-activation-cache multiplier
+#                        (BM_ServingCache cache:0 vs cache:1): submitted
+#                        tokens/s, hit rate, saved-token %, per-round
+#                        computed-suffix percentiles, and the
+#                        budget-pressure arm (BM_ServingCachePressure) whose
+#                        evictions/bytes_peak_pct prove the byte ceiling
+#                        held under displacement
 #   BENCH_obs.json     — telemetry overhead (bench_obs): recording-primitive
 #                        ns/op with the obs kill switch off/on, and the paired
 #                        BM_ServingService replay (req_s_obs0 vs req_s_obs1,
@@ -98,6 +105,14 @@ if [[ -x "$BUILD/bench_serving_faults" ]]; then
       --benchmark_filter='BM_ServingFaults' > "$TMP/faults_default.json"
 fi
 
+# Serving cache: conversation replay with the prefix cache off/on, plus the
+# budget-pressure arm.
+if [[ -x "$BUILD/bench_serving_cache" ]]; then
+  echo "== bench_serving_cache" >&2
+  "$BUILD/bench_serving_cache" --benchmark_format=json \
+      --benchmark_filter='BM_ServingCache' > "$TMP/cache_default.json"
+fi
+
 # Telemetry overhead: recording primitives + the service replay, obs off/on.
 if [[ -x "$BUILD/bench_obs" ]]; then
   echo "== bench_obs" >&2
@@ -130,7 +145,10 @@ def records(path, requested):
         for key in ("gflops", "tokens_s", "alpha", "pad_waste",
                     "req_s", "p50_ms", "p99_ms", "replicas", "models",
                     "session_hit", "wire", "fault_pct", "retries", "obs",
-                    "req_s_obs0", "req_s_obs1", "overhead_pct"):
+                    "req_s_obs0", "req_s_obs1", "overhead_pct",
+                    "cache", "rounds", "sessions", "hit_rate", "saved_pct",
+                    "suffix_p50", "suffix_p99", "evictions",
+                    "bytes_peak_pct"):
             if key in b:
                 rec[key] = b[key]
         yield ctx, rec
@@ -180,6 +198,8 @@ if os.path.exists(os.path.join(tmp, "wire_default.json")):
     merge("wire", "BENCH_serving_wire.json", kernels=("default",))
 if os.path.exists(os.path.join(tmp, "faults_default.json")):
     merge("faults", "BENCH_serving_faults.json", kernels=("default",))
+if os.path.exists(os.path.join(tmp, "cache_default.json")):
+    merge("cache", "BENCH_serving_cache.json", kernels=("default",))
 if os.path.exists(os.path.join(tmp, "obs_default.json")):
     merge("obs", "BENCH_obs.json", kernels=("default",))
 PY

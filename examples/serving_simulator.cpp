@@ -40,6 +40,17 @@
 // reconnect), so the report shows how much of the injected damage the
 // resilience machinery absorbed (retries, reconnects, residual failures).
 //
+// With `--conversation R` the trace becomes multi-round conversations
+// (docs/CACHING.md): every session re-submits its full history each round,
+// extended by a freshly sampled suffix — the incremental-encoding traffic
+// shape the prefix cache exists for. The service runs with a shared
+// prefix-activation cache (`--cache-mb`, default 64 MiB, 0 = cache off for
+// an A/B baseline), every policy section is forced onto the cache-eligible
+// flag set (causal packed/fused-MHA; batching policy still varies), and
+// each round prints a cache line — hits, computed-suffix ratio, and tokens
+// the cache saved — computed from Service stats deltas, with the cache's
+// byte/eviction totals after the last round.
+//
 // Telemetry (docs/OBSERVABILITY.md): each policy section ends with a
 // latency-breakdown table — queue/batch/compute/flush p50/p99 decomposed
 // from the obs trace ring's per-request stage stamps. `--stats-interval S`
@@ -52,9 +63,11 @@
 // Usage: serving_simulator [--replicas N] [--route rr|lor|lot|sticky]
 //                          [--requests N] [--rps X] [--models N]
 //                          [--sessions N] [--sticky] [--slo-ms X]
+//                          [--conversation R] [--cache-mb X]
 //                          [--wire] [--wire-conns N] [--wire-port P]
-//                          [--stats-interval S]
+//                          [--bind A] [--stats-interval S]
 //                          [--chaos P] [--chaos-seed N]
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -66,6 +79,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/prefix_cache.h"
 #include "common/fault.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -97,9 +111,12 @@ struct Args {
   int models = 1;
   int sessions = 0;   // 0 = stateless traffic
   double slo_ms = 0;  // 0 = no deadlines
+  int conversation = 0;   // rounds per session; 0 = single-shot traffic
+  double cache_mb = 64.0;  // prefix-cache budget in conversation mode
   bool wire = false;  // drive the trace over loopback sockets
   int wire_conns = 4;
   int wire_port = 0;  // 0 = kernel-assigned
+  std::string bind = "127.0.0.1";  // --wire listen address
   double stats_interval = 0;  // 0 = no live snapshot polling
   double chaos = 0;   // fault probability for the injected fault points
   std::uint64_t chaos_seed = 42;
@@ -110,8 +127,9 @@ struct Args {
                "usage: %s [--replicas N] [--route rr|lor|lot|sticky] "
                "[--requests N] [--rps X]\n"
                "          [--models N] [--sessions N] [--sticky] [--slo-ms X]\n"
+               "          [--conversation R] [--cache-mb X]\n"
                "          [--wire] [--wire-conns N] [--wire-port P] "
-               "[--stats-interval S]\n"
+               "[--bind A] [--stats-interval S]\n"
                "          [--chaos P] [--chaos-seed N]\n",
                argv0);
   std::exit(2);
@@ -159,6 +177,14 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(flag, "--slo-ms") == 0) {
       args.slo_ms = std::atof(value);
       if (args.slo_ms < 0) usage(argv[0]);
+    } else if (std::strcmp(flag, "--conversation") == 0) {
+      args.conversation = std::atoi(value);
+      if (args.conversation < 1) usage(argv[0]);
+    } else if (std::strcmp(flag, "--cache-mb") == 0) {
+      args.cache_mb = std::atof(value);
+      if (args.cache_mb < 0) usage(argv[0]);
+    } else if (std::strcmp(flag, "--bind") == 0) {
+      args.bind = value;
     } else if (std::strcmp(flag, "--wire-conns") == 0) {
       args.wire_conns = std::atoi(value);
       if (args.wire_conns < 1) usage(argv[0]);
@@ -238,6 +264,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Conversation-mode trace: per session, strictly growing cumulative round
+  // lengths carved out of one deterministic full-history matrix, so round
+  // r's input is bitwise round r-1's input plus a fresh suffix — exactly
+  // the prefix-cache hit condition (docs/CACHING.md). Built once, before
+  // the policy loop, so every policy serves the identical conversations.
+  const int conv_sessions = args.sessions > 0 ? args.sessions : 8;
+  std::vector<std::vector<int>> conv_lens;   // [session][round], cumulative
+  std::vector<int> conv_model;               // session -> model index
+  std::vector<Tensor<fp16_t>> conv_history;  // session -> full input matrix
+  if (args.conversation > 0) {
+    for (int s = 0; s < conv_sessions; ++s) {
+      const int base = 16 + rng.uniform_int(0, 16);
+      const int step_max = std::max(1, (max_seq - base) / args.conversation);
+      std::vector<int> lens;
+      int len = base;
+      for (int r = 0; r < args.conversation; ++r) {
+        lens.push_back(len);
+        len += 1 + rng.uniform_int(0, step_max - 1);
+      }
+      const int total = lens.back();
+      conv_lens.push_back(std::move(lens));
+      conv_model.push_back(rng.uniform_int(0, args.models - 1));
+      Tensor<fp16_t> hist({total, cfg.hidden()});
+      for (std::int64_t row = 0; row < total; ++row) {
+        for (int j = 0; j < cfg.hidden(); ++j) {
+          hist(row, j) = fp16_t(
+              0.001f * static_cast<float>((row * 31 + j * 7 + s) % 997));
+        }
+      }
+      conv_history.push_back(std::move(hist));
+    }
+  }
+
   const Policy policies[] = {
       {"pad-to-max", core::OptFlags::bias_gelu_fused(),
        serving::BatchPolicy::kPadToMax, 0},
@@ -266,12 +325,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(args.chaos_seed),
                 args.wire ? ", retrying clients" : "");
   }
+  if (args.conversation > 0) {
+    std::printf("conversation: %d round(s) x %d session(s), prefix cache "
+                "%.0f MiB%s; every policy\n"
+                "runs the cache-eligible flag set (causal packed fused-MHA) "
+                "— batching still varies\n",
+                args.conversation, conv_sessions, args.cache_mb,
+                args.cache_mb <= 0 ? " (cache OFF)" : "");
+  }
   std::printf("\n");
   // tok/ms(fwd) is compute-side throughput (valid tokens per forward-pass
   // millisecond): with real-time replay, total wall time is dominated by
   // the fixed arrival trace and would look identical across policies.
-  std::printf("%-26s %10s %10s %10s %12s %10s\n", "policy", "total(ms)",
-              "p50(ms)", "p95(ms)", "tok/ms(fwd)", "pad-waste");
+  if (args.conversation == 0) {
+    std::printf("%-26s %10s %10s %10s %12s %10s\n", "policy", "total(ms)",
+                "p50(ms)", "p95(ms)", "tok/ms(fwd)", "pad-waste");
+  }
 
   for (const Policy& pol : policies) {
     // Each policy section reports its own telemetry: zero the registry and
@@ -281,8 +350,16 @@ int main(int argc, char** argv) {
     obs::TraceRing::global().configure(
         static_cast<std::size_t>(num_requests) + 16, 1);
 
+    core::OptFlags flags = pol.flags;
+    if (args.conversation > 0) {
+      // Prefix reuse is only exact under causal packed attention
+      // (OptFlags::validate), so conversation mode forces the eligible
+      // flag set; the per-section variable is the batching policy.
+      flags = core::OptFlags::byte_transformer();
+      flags.causal = true;
+    }
     serving::EnginePoolOptions pool_opts;
-    pool_opts.engine.engine.flags = pol.flags;
+    pool_opts.engine.engine.flags = flags;
     pool_opts.engine.engine.policy = pol.batching;
     pool_opts.engine.engine.group_size = pol.group_size > 0 ? pol.group_size : 4;
     pool_opts.engine.engine.max_batch_requests = batch_size;
@@ -295,15 +372,22 @@ int main(int argc, char** argv) {
       registry.add(model_names[static_cast<std::size_t>(m)],
                    models[static_cast<std::size_t>(m)], pool_opts);
     }
-    serving::Service service(std::move(registry));
+    serving::ServiceOptions service_opts;
+    if (args.conversation > 0 && args.cache_mb > 0) {
+      service_opts.prefix_cache_bytes =
+          static_cast<std::size_t>(args.cache_mb * 1024.0 * 1024.0);
+    }
+    serving::Service service(std::move(registry), service_opts);
 
     // Pre-build every request so construction cost does not pollute the
     // measured latencies or delay later submissions. Deadlines are attached
     // at submit time (inside the replay callback) so the SLO window starts
-    // at the request's arrival, not at trace-build time.
+    // at the request's arrival, not at trace-build time. (Conversation mode
+    // builds each round's requests at its barrier instead — round timing is
+    // reported per round, not per request.)
     std::vector<serving::Request> requests;
     requests.reserve(static_cast<std::size_t>(num_requests));
-    for (int i = 0; i < num_requests; ++i) {
+    for (int i = 0; i < (args.conversation > 0 ? 0 : num_requests); ++i) {
       const int len = lengths[static_cast<std::size_t>(i)];
       serving::Request req;
       req.hidden = Tensor<fp16_t>({len, cfg.hidden()});
@@ -329,13 +413,17 @@ int main(int argc, char** argv) {
     if (args.wire) {
       net::ServerOptions sopts;
       sopts.port = static_cast<std::uint16_t>(args.wire_port);
+      sopts.bind_addr = args.bind;
       server = std::make_unique<net::Server>(service, sopts);
       server->start();
       if (args.wire_port > 0) {
-        std::printf("wire: listening on 127.0.0.1:%u (bt_stats --port %u)\n",
-                    server->port(), server->port());
+        std::printf("wire: listening on %s:%u (bt_stats --port %u)\n",
+                    args.bind.c_str(), server->port(), server->port());
       }
       net::ClientOptions copts;
+      // A wildcard bind still answers on loopback; the in-process clients
+      // connect there rather than to the unroutable 0.0.0.0.
+      copts.host = args.bind == "0.0.0.0" ? "127.0.0.1" : args.bind;
       if (args.chaos > 0) {
         // Under chaos the clients absorb injected damage: retry declined
         // and broken requests with deterministic backoff, reconnect on
@@ -394,7 +482,11 @@ int main(int argc, char** argv) {
           if (args.wire) {
             try {
               if (poll_client == nullptr) {
-                poll_client = std::make_unique<net::Client>(server->port());
+                net::ClientOptions popts;
+                popts.host =
+                    args.bind == "0.0.0.0" ? "127.0.0.1" : args.bind;
+                poll_client =
+                    std::make_unique<net::Client>(server->port(), popts);
               }
               json = poll_client->fetch_stats(false).get().metrics_json;
             } catch (const std::exception&) {
@@ -409,6 +501,98 @@ int main(int argc, char** argv) {
         }
         if (poll_client != nullptr) poll_client->close();
       });
+    }
+
+    // Conversation mode drives its own round-barrier loop instead of the
+    // Poisson replay: round r+1 may only be submitted after round r's
+    // responses land — the entry a cache hit needs is inserted at
+    // completion — which is also how a real conversational client behaves.
+    // Rounds are concurrent ACROSS sessions, so batching and (with
+    // --replicas) routing still operate normally within a round.
+    if (args.conversation > 0) {
+      std::printf("%-26s [%s + %s]\n", pol.name, flags.name().c_str(),
+                  args.cache_mb > 0 ? "cache" : "no cache");
+      const auto t0 = std::chrono::steady_clock::now();
+      long long failures = 0;
+      for (int r = 0; r < args.conversation && !g_interrupted.load(); ++r) {
+        const serving::EngineStats before = service.stats();
+        const auto r0 = std::chrono::steady_clock::now();
+        long long round_tokens = 0;
+        std::vector<std::future<serving::Response>> futs;
+        futs.reserve(static_cast<std::size_t>(conv_sessions));
+        for (int s = 0; s < conv_sessions; ++s) {
+          const int len = conv_lens[static_cast<std::size_t>(s)]
+                                   [static_cast<std::size_t>(r)];
+          serving::Request req;
+          req.hidden = Tensor<fp16_t>({len, cfg.hidden()});
+          std::memcpy(req.hidden.data(),
+                      conv_history[static_cast<std::size_t>(s)].data(),
+                      static_cast<std::size_t>(len) *
+                          static_cast<std::size_t>(cfg.hidden()) *
+                          sizeof(fp16_t));
+          req.model = model_names[static_cast<std::size_t>(
+              conv_model[static_cast<std::size_t>(s)])];
+          req.session = "conv-" + std::to_string(s);
+          round_tokens += len;
+          futs.push_back(submit(std::move(req)));
+        }
+        for (auto& f : futs) {
+          try {
+            f.get();
+          } catch (const std::exception&) {
+            ++failures;
+          }
+        }
+        const double round_ms =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          r0)
+                .count() *
+            1e3;
+        const serving::EngineStats after = service.stats();
+        const long long hits = after.cache_hits - before.cache_hits;
+        const long long misses = after.cache_misses - before.cache_misses;
+        const long long saved =
+            after.cache_saved_tokens - before.cache_saved_tokens;
+        // suffix% = computed tokens / submitted tokens this round: 100% on
+        // a cold round, dropping toward the marginal-suffix share as the
+        // cache covers ever-longer prefixes.
+        std::printf("  round %2d: %3d req  cache hits %lld/%lld  "
+                    "suffix %3.0f%%  saved %5lld tok  %8.2f ms\n",
+                    r + 1, conv_sessions, hits, hits + misses,
+                    round_tokens > 0
+                        ? 100.0 * static_cast<double>(round_tokens - saved) /
+                              static_cast<double>(round_tokens)
+                        : 0.0,
+                    saved, round_ms);
+      }
+      const double conv_total_ms =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count() *
+          1e3;
+      stats_poll_stop.store(true);
+      if (stats_poller.joinable()) stats_poller.join();
+      clients.clear();
+      if (server != nullptr) server->stop();
+      service.stop();
+      const auto st = service.stats();
+      std::printf("  total %.1f ms  tok/ms(fwd) %.1f  hits %lld  misses "
+                  "%lld  saved %lld tok%s\n",
+                  conv_total_ms,
+                  st.compute_seconds > 0
+                      ? static_cast<double>(st.valid_tokens) /
+                            (st.compute_seconds * 1e3)
+                      : 0.0,
+                  st.cache_hits, st.cache_misses, st.cache_saved_tokens,
+                  failures > 0 ? "  (with failures)" : "");
+      if (service.prefix_cache() != nullptr) {
+        const cache::CacheStats cs = service.prefix_cache()->stats();
+        std::printf("  cache: %zu/%zu bytes  %zu entries  %lld evictions  "
+                    "%lld invalidations  %lld migrations\n",
+                    cs.bytes, service.prefix_cache()->budget(), cs.entries,
+                    cs.evictions, cs.invalidations, cs.migrations);
+      }
+      if (g_interrupted.load()) return 130;
+      continue;
     }
 
     const serving::ReplayResult replay = serving::replay_trace(

@@ -77,6 +77,16 @@ struct PackedMhaArgs {
   // would need per-tile masking — the decoder extension the paper lists as
   // future work).
   bool causal = false;
+  // Prefix-resume compute skip (cache/prefix_cache.h): query rows below
+  // q_start already have cached context and are not recomputed. The kernels
+  // skip exactly the query tiles/blocks that end at or before q_start —
+  // tile geometry is unchanged (tiling still starts from row 0), so every
+  // computed row is bitwise identical to the same row in a q_start=0 run.
+  // Keys are NOT restricted: rows >= q_start still attend over the full
+  // (causally masked) key range, reading prefix K/V from the qkv buffer.
+  // Only meaningful with causal masking — a bidirectional row's context
+  // could never be skipped consistently. 0 computes everything.
+  int q_start = 0;
 };
 
 // --- padded-variant baselines -------------------------------------------

@@ -55,6 +55,12 @@ void mha_flash_like(par::Device& dev, const PackedMhaArgs& args,
 
     for (int q0 = 0; q0 < len; q0 += kQBlock) {
       const int qr = std::min(kQBlock, len - q0);
+      // Prefix-resume skip: query blocks entirely below q_start are served
+      // from cached context. Each block's online-softmax state is
+      // independent (m/l reset per block), so skipping whole blocks leaves
+      // the remaining blocks bitwise identical to a q_start=0 run; a
+      // straddling block recomputes its cached rows.
+      if (q0 + qr <= args.q_start) continue;
       // Load the query block with bias fused.
       for (int i = 0; i < qr; ++i) {
         const fp16_t* src =

@@ -79,6 +79,11 @@ void mha_fused_short(par::Device& dev, const PackedMhaArgs& args,
     const int q_begin = tile * kSplitSeqLen;
     if (q_begin >= len) return;  // tile entirely past this sequence's end
     const int rows = std::min(kSplitSeqLen, len - q_begin);
+    // Prefix-resume skip: a tile whose every query row is below q_start is
+    // already served from cached context. Whole tiles only — a straddling
+    // tile recomputes its cached rows (they are simply not stored), keeping
+    // the computed rows bitwise identical to a q_start=0 run.
+    if (q_begin + rows <= args.q_start) return;
     const std::int64_t seq_base = off.batch_offset[static_cast<std::size_t>(b)];
     constexpr int kPK = gemm::TileShape::kK;
     constexpr int kPN = gemm::TileShape::kN;

@@ -1,0 +1,69 @@
+#include "cache/budget_lru.h"
+
+namespace bt::cache {
+
+BudgetLru::PutResult BudgetLru::put(const std::string& key,
+                                    std::shared_ptr<const void> value,
+                                    std::size_t bytes) {
+  PutResult result;
+  if (bytes > budget_) {
+    // Oversized entries never enter the cache (and never purge it). The
+    // previous entry under this key, if any, stays — it is still the
+    // longest *cacheable* state for the conversation.
+    return result;
+  }
+
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+
+  while (bytes_ + bytes > budget_ && !lru_.empty()) {
+    Node& victim = lru_.front();
+    result.evicted_count += 1;
+    result.evicted_bytes += victim.bytes;
+    result.evicted_keys.push_back(std::move(victim.key));
+    bytes_ -= victim.bytes;
+    map_.erase(result.evicted_keys.back());
+    lru_.pop_front();
+  }
+
+  lru_.push_back(Node{key, std::move(value), bytes});
+  map_.emplace(key, std::prev(lru_.end()));
+  bytes_ += bytes;
+  result.stored = true;
+  return result;
+}
+
+std::shared_ptr<const void> BudgetLru::get(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.end(), lru_, it->second);
+  return it->second->value;
+}
+
+std::shared_ptr<const void> BudgetLru::peek(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : it->second->value;
+}
+
+std::size_t BudgetLru::erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return 0;
+  const std::size_t freed = it->second->bytes;
+  bytes_ -= freed;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return freed;
+}
+
+std::vector<std::string> BudgetLru::keys_lru_order() const {
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const Node& n : lru_) keys.push_back(n.key);
+  return keys;
+}
+
+}  // namespace bt::cache

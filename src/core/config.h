@@ -82,6 +82,13 @@ struct OptFlags {
   // model load (bitwise identical to packing on the fly; off = A/B lever
   // for benchmarks and the equivalence tests).
   bool prepacked_weights = true;
+  // Causal (decoder-style) attention: token i attends to keys j <= i only.
+  // This is the exactness prerequisite of the prefix activation cache
+  // (cache/prefix_cache.h): with bidirectional attention a prefix token's
+  // activations depend on suffix tokens, so no prefix state could ever be
+  // reused exactly. Only the fused packed kernels implement the mask
+  // (validate() enforces it).
+  bool causal = false;
 
   static OptFlags baseline() { return {}; }
   static OptFlags layernorm_fused() {
@@ -117,6 +124,11 @@ struct OptFlags {
              "MHA kernels operate on packed rows; a padded pipeline would "
              "silently run the non-fused attention block instead)";
     }
+    if (causal && !fused_mha) {
+      return "OptFlags: causal=true requires fused_mha=true (only the fused "
+             "packed kernels implement the causal mask; the padded attention "
+             "block would silently compute bidirectional attention)";
+    }
     return {};
   }
 
@@ -138,6 +150,7 @@ struct OptFlags {
     }
     level += '/';
     level += fused_mha ? fused_mha_name(fused_kind) : padded_mha_name(padded_mha);
+    if (causal) level += "/causal";
     return level;
   }
 };

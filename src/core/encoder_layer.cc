@@ -1,6 +1,7 @@
 #include "core/encoder_layer.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "attention/attention.h"
 #include "core/weight_gemm.h"
@@ -75,71 +76,24 @@ void padded_attention_block(par::Device& dev, const BertConfig& cfg,
 
 }  // namespace
 
-void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
-                           const LayerWeights& w, const OptFlags& flags,
-                           const fp16_t* input, fp16_t* output,
-                           const SeqOffsets& off, Workspace& ws,
-                           StageTimes* times) {
+void encoder_layer_tail(par::Device& dev, const BertConfig& cfg,
+                        const LayerWeights& w, const OptFlags& flags,
+                        const fp16_t* ctx_rows, const fp16_t* input,
+                        fp16_t* output, std::int64_t rows, Workspace& ws,
+                        StageTimes* times) {
   const std::int64_t h = cfg.hidden();
   const std::int64_t inner = cfg.ffn_inner();
-  const std::int64_t rows =
-      flags.zero_padding ? off.valid_count
-                         : static_cast<std::int64_t>(off.batch) * off.max_seq;
+  const bool prepacked = flags.prepacked_weights && w.packed.ready;
 
-  auto qkv = ws.get<fp16_t>("layer.qkv", rows * 3 * h);
-  auto ctx_rows = ws.get<fp16_t>("layer.ctx_rows", rows * h);
   auto attn_out = ws.get<fp16_t>("layer.attn_out", rows * h);
   auto ln1_out = ws.get<fp16_t>("layer.ln1_out", rows * h);
   auto ffn_mid = ws.get<fp16_t>("layer.ffn_mid", rows * inner);
   auto ffn_out = ws.get<fp16_t>("layer.ffn_out", rows * h);
 
-  // Weight GEMMs are served from the persistent pre-packed panels when
-  // available — bitwise identical to packing on the fly, minus the packing.
-  const bool prepacked = flags.prepacked_weights && w.packed.ready;
-
-  // GEMM #0: packed (Q,K,V) positioning encoding in one GEMM.
-  {
-    StageScope scope(times, "gemm0");
-    weight_gemm(dev, prepacked, rows, 3 * h, h, input, w.packed.qkv, w.w_qkv,
-                qkv.data());
-  }
-
-  // Multi-head attention (incl. bias-add and layout transforms).
-  {
-    StageScope scope(times, "attention");
-    if (flags.zero_padding && flags.fused_mha) {
-      attn::PackedMhaArgs args;
-      args.qkv = qkv.data();
-      args.qkv_bias = w.b_qkv.data();
-      args.ctx = ctx_rows.data();
-      args.offsets = &off;
-      args.heads = cfg.heads;
-      args.head_size = cfg.head_size;
-      switch (flags.fused_kind) {
-        case FusedMhaKind::kDispatch:
-          attn::mha_fused(dev, args, ws);
-          break;
-        case FusedMhaKind::kShort:
-          attn::mha_fused_short(dev, args, ws);
-          break;
-        case FusedMhaKind::kLong:
-          attn::mha_fused_long(dev, args, ws);
-          break;
-        case FusedMhaKind::kFlashLike:
-          attn::mha_flash_like(dev, args, ws);
-          break;
-      }
-    } else {
-      assert(!flags.fused_mha || flags.zero_padding);
-      padded_attention_block(dev, cfg, w, flags, qkv.data(), ctx_rows.data(),
-                             off, ws);
-    }
-  }
-
   // GEMM #1: attention output projection.
   {
     StageScope scope(times, "gemm1");
-    weight_gemm(dev, prepacked, rows, h, h, ctx_rows.data(), w.packed.proj,
+    weight_gemm(dev, prepacked, rows, h, h, ctx_rows, w.packed.proj,
                 w.w_proj, attn_out.data());
   }
 
@@ -196,6 +150,129 @@ void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
                          w.ln2_beta.data(), rows, h);
     }
   }
+}
+
+namespace {
+
+// The fused-MHA switch shared by the forward and resume paths.
+void fused_attention(par::Device& dev, const BertConfig& cfg,
+                     const LayerWeights& w, const OptFlags& flags,
+                     const fp16_t* qkv, fp16_t* ctx_rows,
+                     const SeqOffsets& off, int q_start, Workspace& ws) {
+  attn::PackedMhaArgs args;
+  args.qkv = qkv;
+  args.qkv_bias = w.b_qkv.data();
+  args.ctx = ctx_rows;
+  args.offsets = &off;
+  args.heads = cfg.heads;
+  args.head_size = cfg.head_size;
+  args.causal = flags.causal;
+  args.q_start = q_start;
+  switch (flags.fused_kind) {
+    case FusedMhaKind::kDispatch:
+      attn::mha_fused(dev, args, ws);
+      break;
+    case FusedMhaKind::kShort:
+      attn::mha_fused_short(dev, args, ws);
+      break;
+    case FusedMhaKind::kLong:
+      attn::mha_fused_long(dev, args, ws);
+      break;
+    case FusedMhaKind::kFlashLike:
+      attn::mha_flash_like(dev, args, ws);
+      break;
+  }
+}
+
+}  // namespace
+
+void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
+                           const LayerWeights& w, const OptFlags& flags,
+                           const fp16_t* input, fp16_t* output,
+                           const SeqOffsets& off, Workspace& ws,
+                           StageTimes* times) {
+  const std::int64_t h = cfg.hidden();
+  const std::int64_t rows =
+      flags.zero_padding ? off.valid_count
+                         : static_cast<std::int64_t>(off.batch) * off.max_seq;
+
+  auto qkv = ws.get<fp16_t>("layer.qkv", rows * 3 * h);
+  auto ctx_rows = ws.get<fp16_t>("layer.ctx_rows", rows * h);
+
+  // Weight GEMMs are served from the persistent pre-packed panels when
+  // available — bitwise identical to packing on the fly, minus the packing.
+  const bool prepacked = flags.prepacked_weights && w.packed.ready;
+
+  // GEMM #0: packed (Q,K,V) positioning encoding in one GEMM.
+  {
+    StageScope scope(times, "gemm0");
+    weight_gemm(dev, prepacked, rows, 3 * h, h, input, w.packed.qkv, w.w_qkv,
+                qkv.data());
+  }
+
+  // Multi-head attention (incl. bias-add and layout transforms).
+  {
+    StageScope scope(times, "attention");
+    if (flags.zero_padding && flags.fused_mha) {
+      fused_attention(dev, cfg, w, flags, qkv.data(), ctx_rows.data(), off,
+                      /*q_start=*/0, ws);
+    } else {
+      assert(!flags.fused_mha || flags.zero_padding);
+      assert(!flags.causal && "causal requires the fused packed kernels");
+      padded_attention_block(dev, cfg, w, flags, qkv.data(), ctx_rows.data(),
+                             off, ws);
+    }
+  }
+
+  encoder_layer_tail(dev, cfg, w, flags, ctx_rows.data(), input, output, rows,
+                     ws, times);
+}
+
+void encoder_layer_resume(par::Device& dev, const BertConfig& cfg,
+                          const LayerWeights& w, const OptFlags& flags,
+                          const fp16_t* prefix_qkv, const fp16_t* suffix_input,
+                          fp16_t* suffix_output, fp16_t* suffix_qkv,
+                          const SeqOffsets& off, std::int64_t prefix_rows,
+                          Workspace& ws, StageTimes* times) {
+  assert(off.batch == 1 && "resume operates on one sequence");
+  assert(flags.causal && flags.fused_mha && flags.zero_padding);
+  const std::int64_t h = cfg.hidden();
+  const std::int64_t total = off.valid_count;
+  const std::int64_t suffix = total - prefix_rows;
+  assert(prefix_rows > 0 && suffix > 0);
+
+  // Same workspace keys as the full path: the buffers are shared (grow-only)
+  // and a resumed round reuses whatever the full rounds already sized.
+  auto qkv = ws.get<fp16_t>("layer.qkv", total * 3 * h);
+  auto ctx_rows = ws.get<fp16_t>("layer.ctx_rows", total * h);
+  const bool prepacked = flags.prepacked_weights && w.packed.ready;
+
+  // GEMM #0 over the suffix rows only, written in place at their sequence
+  // position. Each output row depends only on its own input row (fixed
+  // k-accumulation order), so these rows are bitwise identical to rows
+  // [prefix_rows, total) of the full-sequence GEMM.
+  {
+    StageScope scope(times, "gemm0");
+    weight_gemm(dev, prepacked, suffix, 3 * h, h, suffix_input, w.packed.qkv,
+                w.w_qkv, qkv.data() + prefix_rows * 3 * h);
+  }
+  // Reassemble the full QKV buffer: cached prefix rows + fresh suffix rows.
+  std::memcpy(qkv.data(), prefix_qkv,
+              static_cast<std::size_t>(prefix_rows * 3 * h) * sizeof(fp16_t));
+  // Stream the suffix QKV out so the caller can extend the cache entry.
+  std::memcpy(suffix_qkv, qkv.data() + prefix_rows * 3 * h,
+              static_cast<std::size_t>(suffix * 3 * h) * sizeof(fp16_t));
+
+  // Attention over the full sequence, computing only suffix query rows.
+  // Prefix ctx rows are never written (and never read by the tail below).
+  {
+    StageScope scope(times, "attention");
+    fused_attention(dev, cfg, w, flags, qkv.data(), ctx_rows.data(), off,
+                    static_cast<int>(prefix_rows), ws);
+  }
+
+  encoder_layer_tail(dev, cfg, w, flags, ctx_rows.data() + prefix_rows * h,
+                     suffix_input, suffix_output, suffix, ws, times);
 }
 
 }  // namespace bt::core

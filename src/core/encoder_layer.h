@@ -29,4 +29,41 @@ void encoder_layer_forward(par::Device& dev, const BertConfig& cfg,
                            const SeqOffsets& off, Workspace& ws,
                            StageTimes* times = nullptr);
 
+// Everything after attention — projection GEMM, layernorm #0, FFN, layernorm
+// #1 — over `rows` token rows. All of these operate row-independently, which
+// is why the prefix-resume path below can run them over just the suffix rows
+// and still be bitwise identical to the full-layer run; sharing the
+// implementation here is what keeps the two paths from drifting. `ctx_rows`
+// is the attention output, `input` the layer input (residual source).
+void encoder_layer_tail(par::Device& dev, const BertConfig& cfg,
+                        const LayerWeights& w, const OptFlags& flags,
+                        const fp16_t* ctx_rows, const fp16_t* input,
+                        fp16_t* output, std::int64_t rows, Workspace& ws,
+                        StageTimes* times = nullptr);
+
+// Prefix-resume layer step for one sequence (cache/prefix_cache.h). Given
+// the layer's cached raw QKV rows for the first `prefix_rows` tokens
+// (`prefix_qkv`, [prefix_rows, 3*hidden], bias unapplied — exactly the raw
+// gemm0 output the fused kernels consume) and the layer's input for the
+// suffix tokens, computes the layer's output for the suffix only:
+//
+//   1. gemm0 over the suffix rows -> suffix QKV (also streamed to
+//      `suffix_qkv` so the caller can extend the cache entry),
+//   2. attention over the FULL sequence with causal masking and
+//      q_start = prefix_rows (prefix query tiles are skipped, prefix K/V
+//      rows are read from the reassembled QKV buffer),
+//   3. the shared tail over the suffix rows.
+//
+// `off` must describe exactly one sequence of length prefix_rows + suffix.
+// Requires flags.causal (validated by the caller): under bidirectional
+// attention the suffix context would not match a full re-encode. Every
+// suffix output row is bitwise identical to the same row of
+// encoder_layer_forward over the whole sequence.
+void encoder_layer_resume(par::Device& dev, const BertConfig& cfg,
+                          const LayerWeights& w, const OptFlags& flags,
+                          const fp16_t* prefix_qkv, const fp16_t* suffix_input,
+                          fp16_t* suffix_output, fp16_t* suffix_qkv,
+                          const SeqOffsets& off, std::int64_t prefix_rows,
+                          Workspace& ws, StageTimes* times = nullptr);
+
 }  // namespace bt::core

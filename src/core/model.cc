@@ -6,13 +6,20 @@ namespace bt::core {
 
 void BertModel::forward(par::Device& dev, const fp16_t* input, fp16_t* output,
                         const SeqOffsets& off, const OptFlags& flags,
-                        Workspace& ws, StageTimes* times) const {
+                        Workspace& ws, StageTimes* times,
+                        QkvCaptureSink* capture) const {
   const ModelWeights& weights = *weights_;
   const BertConfig& cfg = weights.config;
   const std::int64_t h = cfg.hidden();
   const std::int64_t padded_rows =
       static_cast<std::int64_t>(off.batch) * off.max_seq;
   const std::int64_t rows = flags.zero_padding ? off.valid_count : padded_rows;
+  if (capture != nullptr &&
+      (cfg.kind == ModelKind::kDeberta || !flags.zero_padding)) {
+    throw std::invalid_argument(
+        "BertModel::forward: QKV capture requires zero_padding and a "
+        "non-DeBERTa model");
+  }
 
   auto buf_a = ws.get<fp16_t>("model.buf_a", rows * h);
   auto buf_b = ws.get<fp16_t>("model.buf_b", rows * h);
@@ -41,6 +48,13 @@ void BertModel::forward(par::Device& dev, const fp16_t* input, fp16_t* output,
                                     off, ws, times);
     } else {
       encoder_layer_forward(dev, cfg, w, flags, cur, dst, off, ws, times);
+      if (capture != nullptr) {
+        // Same key + size as the layer just used -> same grow-only buffer,
+        // still holding this layer's gemm0 output (the next layer is what
+        // overwrites it).
+        capture->on_layer_qkv(
+            layer, ws.get<fp16_t>("layer.qkv", rows * 3 * h).data());
+      }
     }
     cur = dst;
     if (last) packed_final = dst;
@@ -49,6 +63,54 @@ void BertModel::forward(par::Device& dev, const fp16_t* input, fp16_t* output,
   if (flags.zero_padding) {
     StageScope scope(times, "padding");
     unpack_rows(dev, packed_final, output, off, h);
+  }
+}
+
+void BertModel::forward_resume(par::Device& dev, const fp16_t* prefix_qkv,
+                               std::int64_t prefix_rows,
+                               const fp16_t* suffix_input,
+                               fp16_t* suffix_output, fp16_t* suffix_qkv,
+                               const SeqOffsets& off, const OptFlags& flags,
+                               Workspace& ws, StageTimes* times) const {
+  const ModelWeights& weights = *weights_;
+  const BertConfig& cfg = weights.config;
+  if (cfg.kind == ModelKind::kDeberta) {
+    throw std::invalid_argument(
+        "BertModel::forward_resume: DeBERTa has no reusable prefix state");
+  }
+  if (!flags.causal || !flags.fused_mha || !flags.zero_padding) {
+    throw std::invalid_argument(
+        "BertModel::forward_resume: requires causal + fused_mha + "
+        "zero_padding (prefix reuse is only exact under causal attention)");
+  }
+  if (off.batch != 1) {
+    throw std::invalid_argument(
+        "BertModel::forward_resume: off must describe exactly one sequence");
+  }
+  const std::int64_t total = off.valid_count;
+  if (prefix_rows <= 0 || prefix_rows >= total) {
+    throw std::invalid_argument(
+        "BertModel::forward_resume: prefix_rows must be in (0, valid_count)");
+  }
+  const std::int64_t h = cfg.hidden();
+  const std::int64_t suffix = total - prefix_rows;
+
+  auto buf_a = ws.get<fp16_t>("model.buf_a", suffix * h);
+  auto buf_b = ws.get<fp16_t>("model.buf_b", suffix * h);
+
+  // Single sequence => packed rows are exactly the valid rows; no
+  // pack/unpack step, the caller hands packed suffix rows directly.
+  const fp16_t* cur = suffix_input;
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    const bool last = layer == cfg.layers - 1;
+    fp16_t* dst = last             ? suffix_output
+                  : (cur == buf_a.data()) ? buf_b.data()
+                                          : buf_a.data();
+    encoder_layer_resume(dev, cfg, weights.layer(layer), flags,
+                         prefix_qkv + layer * prefix_rows * 3 * h, cur, dst,
+                         suffix_qkv + layer * suffix * 3 * h, off,
+                         prefix_rows, ws, times);
+    cur = dst;
   }
 }
 

@@ -30,6 +30,20 @@
 
 namespace bt::core {
 
+// Observer for the per-layer raw QKV projections (the gemm0 output, bias
+// unapplied — exactly the rows the fused attention kernels consume and the
+// prefix cache stores, see cache/prefix_cache.h). Called once per encoder
+// layer after that layer completes; `qkv` points into a workspace buffer
+// that the NEXT layer overwrites, so implementations must copy what they
+// need before returning. The row count matches the forward pass's row
+// layout (packed rows under zero_padding). Never invoked for DeBERTa
+// models (their disentangled attention has no reusable prefix state).
+class QkvCaptureSink {
+ public:
+  virtual ~QkvCaptureSink() = default;
+  virtual void on_layer_qkv(int layer, const fp16_t* qkv) = 0;
+};
+
 class BertModel {
  public:
   // Sole-ownership convenience: wraps the weights into shared storage.
@@ -62,9 +76,32 @@ class BertModel {
   // input/output: padded token rows [batch * max_seq, hidden]; padding rows
   // of `input` must be zero-filled. `off` describes the valid tokens.
   // Pack/unpack time is attributed to the "padding" stage of `times`.
+  // `capture`, if given, observes each layer's raw QKV rows (packed layout;
+  // requires flags.zero_padding and a non-DeBERTa model).
   void forward(par::Device& dev, const fp16_t* input, fp16_t* output,
                const SeqOffsets& off, const OptFlags& flags, Workspace& ws,
-               StageTimes* times = nullptr) const;
+               StageTimes* times = nullptr,
+               QkvCaptureSink* capture = nullptr) const;
+
+  // Prefix-resume forward for ONE sequence (cache/prefix_cache.h). Given the
+  // cached per-layer raw QKV rows of the first `prefix_rows` tokens
+  // (`prefix_qkv`, [layers, prefix_rows, 3*hidden] contiguous) and the
+  // embedding rows of the remaining suffix tokens (`suffix_input`,
+  // [suffix, hidden] packed), computes the final hidden states of the
+  // suffix tokens only (`suffix_output`, [suffix, hidden]) and streams each
+  // layer's suffix QKV rows to `suffix_qkv` ([layers, suffix, 3*hidden]) so
+  // the caller can extend the cache entry. `off` must describe exactly one
+  // sequence; suffix = off.valid_count - prefix_rows must be positive.
+  //
+  // Exactness contract: every suffix output row is bitwise identical to the
+  // same row of forward() over the full sequence with the same flags.
+  // Requires flags.causal + fused_mha + zero_padding and a non-DeBERTa
+  // model; throws std::invalid_argument otherwise.
+  void forward_resume(par::Device& dev, const fp16_t* prefix_qkv,
+                      std::int64_t prefix_rows, const fp16_t* suffix_input,
+                      fp16_t* suffix_output, fp16_t* suffix_qkv,
+                      const SeqOffsets& off, const OptFlags& flags,
+                      Workspace& ws, StageTimes* times = nullptr) const;
 
   static BertModel random(const BertConfig& cfg, Rng& rng) {
     return BertModel(ModelWeights::random(cfg, rng));

@@ -41,15 +41,19 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-// Blocking loopback connect, EINTR-safe, non-throwing (-1 on failure).
-int connect_loopback(std::uint16_t port) {
+// Blocking connect to host:port, EINTR-safe, non-throwing (-1 on failure;
+// a host that does not parse as IPv4 fails with EINVAL).
+int connect_host(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return -1;
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return -1;
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
       0) {
@@ -102,9 +106,9 @@ Client::Client(std::uint16_t port, ClientOptions opts)
   if (opts_.retry.max_attempts < 1) {
     throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
   }
-  const int fd = connect_loopback(port);
+  const int fd = connect_host(opts_.host, port);
   if (fd < 0) {
-    throw std::runtime_error("net::Client: connect: " +
+    throw std::runtime_error("net::Client: connect to " + opts_.host + ": " +
                              std::string(std::strerror(errno)));
   }
   fd_.store(fd);
@@ -392,7 +396,7 @@ bool Client::reconnect_and_resend() {
   int new_fd = -1;
   for (int attempt = 1; attempt <= p.max_attempts; ++attempt) {
     if (closed_.load()) return false;
-    new_fd = connect_loopback(port_);
+    new_fd = connect_host(opts_.host, port_);
     if (new_fd >= 0) break;
     if (attempt == p.max_attempts) return false;
     // Backoff between connection attempts, interruptible by close()

@@ -119,6 +119,10 @@ double retry_backoff_ms(const RetryPolicy& policy, std::uint64_t correlation,
 struct ClientOptions {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   RetryPolicy retry;
+  // IPv4 dotted-quad of the server (bt_stats --bind). Appended after the
+  // existing fields so ClientOptions{bytes, policy} aggregate call sites
+  // keep compiling.
+  std::string host = "127.0.0.1";
 };
 
 // Cumulative retry accounting (monotonic).
@@ -129,7 +133,7 @@ struct ClientStats {
 
 class Client {
  public:
-  // Connects to 127.0.0.1:port (blocking) and starts the receiver thread
+  // Connects to opts.host:port (blocking) and starts the receiver thread
   // (plus a retry timer thread when retry.max_attempts > 1). Throws
   // std::runtime_error when the connection is refused.
   explicit Client(std::uint16_t port, ClientOptions opts = {});

@@ -179,7 +179,11 @@ struct Server::Impl {
     ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::inet_pton(AF_INET, opts.bind_addr.c_str(), &addr.sin_addr) != 1) {
+      throw std::invalid_argument("net::Server: bind_addr \"" +
+                                  opts.bind_addr +
+                                  "\" is not an IPv4 dotted-quad address");
+    }
     addr.sin_port = htons(opts.port);
     if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
                sizeof addr) != 0) {

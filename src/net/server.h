@@ -70,6 +70,11 @@ namespace bt::net {
 
 struct ServerOptions {
   std::uint16_t port = 0;    // 0 = kernel-assigned; see Server::port()
+  // IPv4 dotted-quad the listen socket binds to. The loopback default keeps
+  // a bare Server private to the machine; "0.0.0.0" serves every interface
+  // (the simulator/bt_stats --bind flag). Rejected at start() when it does
+  // not parse.
+  std::string bind_addr = "127.0.0.1";
   int listen_backlog = 64;
   std::size_t max_connections = 256;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;

@@ -84,9 +84,25 @@ obs::Counter& failure_counter(ErrorCode code) {
 
 }  // namespace
 
+namespace {
+
+AsyncEngineOptions resolve_async_options(AsyncEngineOptions opts) {
+  // The registry model name is the natural prefix-cache scope: pools and
+  // Service stamp model_name on every replica, so sessions of different
+  // models can never collide in a shared cache. An explicit cache_scope
+  // wins (lets tests and bare engines pick their own namespace).
+  if (opts.engine.prefix_cache != nullptr && opts.engine.cache_scope.empty()) {
+    opts.engine.cache_scope = opts.model_name;
+  }
+  return opts;
+}
+
+}  // namespace
+
 AsyncEngine::AsyncEngine(std::shared_ptr<const core::BertModel> model,
                          AsyncEngineOptions opts)
-    : opts_(opts), engine_(std::move(model), opts.engine) {
+    : opts_(resolve_async_options(std::move(opts))),
+      engine_(std::move(model), opts_.engine) {
   if (opts_.max_queue < 1) {
     throw std::invalid_argument("AsyncEngineOptions: max_queue must be >= 1");
   }

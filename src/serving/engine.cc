@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "cache/prefix_cache.h"
 #include "core/padding.h"
 #include "obs/metrics.h"
 
@@ -30,6 +31,10 @@ void EngineStats::publish(obs::MetricRegistry& reg,
   set("deadline_met", static_cast<double>(deadline_met));
   set("deadline_missed", static_cast<double>(deadline_missed));
   set("deadline_shed", static_cast<double>(deadline_shed));
+  set("cache_hits", static_cast<double>(cache_hits));
+  set("cache_misses", static_cast<double>(cache_misses));
+  set("cache_hit_suffix_tokens", static_cast<double>(cache_hit_suffix_tokens));
+  set("cache_saved_tokens", static_cast<double>(cache_saved_tokens));
 }
 
 namespace {
@@ -74,6 +79,22 @@ Engine::Engine(std::shared_ptr<const core::BertModel> model,
   // -1 = auto: standalone engines leave the cache off; a sticky-routed
   // EnginePool already resolved it to kStickySessionWorkspaces.
   if (opts_.session_workspaces < 0) opts_.session_workspaces = 0;
+  if (opts_.prefix_cache != nullptr) {
+    // causal is the exactness prerequisite (bidirectional prefix state can
+    // never be reused); causal itself requires fused_mha via
+    // OptFlags::validate, and the fused kernels require packed rows.
+    if (!opts_.flags.causal || !opts_.flags.zero_padding) {
+      throw std::invalid_argument(
+          "EngineOptions: prefix_cache requires flags.causal and "
+          "flags.zero_padding — prefix reuse is only exact under causal "
+          "attention on the padding-free pipeline");
+    }
+    if (model_->config().kind == core::ModelKind::kDeberta) {
+      throw std::invalid_argument(
+          "EngineOptions: prefix_cache does not support DeBERTa "
+          "(disentangled attention has no reusable per-layer prefix state)");
+    }
+  }
 }
 
 Engine::Engine(core::BertModel model, EngineOptions opts)
@@ -182,6 +203,31 @@ void Engine::refresh_workspace_allocations() {
   stats_.workspace_allocations = total;
 }
 
+namespace {
+
+// Stages each layer's packed QKV rows into one [layers, rows, 3*hidden]
+// buffer during a forward pass, so the engine can slice per-request row
+// ranges out afterwards and insert them into the prefix cache.
+class StagingCaptureSink final : public core::QkvCaptureSink {
+ public:
+  StagingCaptureSink(fp16_t* buf, std::int64_t rows, std::int64_t hidden)
+      : buf_(buf), rows_(rows), hidden_(hidden) {}
+
+  void on_layer_qkv(int layer, const fp16_t* qkv) override {
+    std::memcpy(buf_ + static_cast<std::int64_t>(layer) * rows_ * 3 * hidden_,
+                qkv,
+                static_cast<std::size_t>(rows_ * 3 * hidden_) *
+                    sizeof(fp16_t));
+  }
+
+ private:
+  fp16_t* buf_;
+  std::int64_t rows_;
+  std::int64_t hidden_;
+};
+
+}  // namespace
+
 std::vector<Response> Engine::run_batch() {
   if (queue_.empty()) return {};
 
@@ -189,58 +235,166 @@ std::vector<Response> Engine::run_batch() {
       queue_.size(), opts_.max_batch_requests, opts_.max_batch_tokens,
       [&](std::size_t i) { return queue_[i].hidden.dim(0); });
 
-  std::vector<int> lengths(count);
   std::vector<double> queue_secs(count);
   for (std::size_t i = 0; i < count; ++i) {
-    lengths[i] = static_cast<int>(queue_[i].hidden.dim(0));
     queue_secs[i] = queue_[i].queued.seconds();
   }
 
-  const BatchPlan plan = plan_batch(opts_.policy, lengths, opts_.group_size);
   const std::int64_t h = hidden();
+  const int layers = model_->config().layers;
   std::vector<Response> responses(count);
   core::Workspace& ws = round_workspace(count);
 
-  for (const MicroBatch& mb : plan.micro) {
-    const std::int64_t gb = static_cast<std::int64_t>(mb.indices.size());
-    const std::int64_t rows = gb * mb.max_len;
-    auto in = ws.get<fp16_t>("engine.in", rows * h);
-    auto out = ws.get<fp16_t>("engine.out", rows * h);
-
-    // Zero-padded gather: request i's valid rows form the prefix of padded
-    // row-block i, matching build_seq_offsets' prefix-mask convention.
-    std::memset(in.data(), 0, static_cast<std::size_t>(rows * h) * sizeof(fp16_t));
-    std::vector<int> mb_lens(mb.indices.size());
-    for (std::size_t i = 0; i < mb.indices.size(); ++i) {
-      const Pending& p = queue_[static_cast<std::size_t>(mb.indices[i])];
-      mb_lens[i] = static_cast<int>(p.hidden.dim(0));
-      std::memcpy(in.data() + static_cast<std::int64_t>(i) * mb.max_len * h,
-                  p.hidden.data(),
-                  static_cast<std::size_t>(p.hidden.size()) * sizeof(fp16_t));
+  // Prefix-cache probe: sessioned requests whose input extends a cached
+  // prefix are peeled out of the batch and resumed individually; everything
+  // else (sessionless, cache miss, cache off) runs the batched path below.
+  struct CacheHit {
+    std::size_t pos;  // queue / responses position
+    std::string key;
+    std::shared_ptr<const cache::PrefixEntry> entry;
+  };
+  std::vector<CacheHit> hits;
+  std::vector<std::size_t> miss;  // miss-local index -> queue position
+  miss.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Pending& p = queue_[i];
+    if (opts_.prefix_cache != nullptr && p.session.has_value()) {
+      std::string key =
+          cache::PrefixCache::session_key(opts_.cache_scope, *p.session);
+      auto entry =
+          opts_.prefix_cache->probe(key, p.hidden.data(), p.hidden.dim(0));
+      if (entry != nullptr) {
+        hits.push_back(CacheHit{i, std::move(key), std::move(entry)});
+        continue;
+      }
+      stats_.cache_misses += 1;
     }
-    const core::SeqOffsets off = core::build_seq_offsets(dev_, mb_lens, mb.max_len);
+    miss.push_back(i);
+  }
 
+  // Resumed requests: each is one single-sequence model invocation that
+  // encodes only the suffix. The result is bitwise identical to a full
+  // single-sequence re-encode (core/encoder_layer.h), and the extended
+  // state goes straight back into the cache for the next round.
+  for (CacheHit& hit : hits) {
+    Pending& p = queue_[hit.pos];
+    const std::int64_t total = p.hidden.dim(0);
+    const std::int64_t prefix = hit.entry->length;
+    const std::int64_t suffix = total - prefix;
+    const int len = static_cast<int>(total);
+    const core::SeqOffsets off =
+        core::build_seq_offsets(dev_, std::span<const int>(&len, 1), len);
+    auto suffix_qkv =
+        ws.get<fp16_t>("engine.cache_suffix_qkv", layers * suffix * 3 * h);
+
+    Response& r = responses[hit.pos];
+    r.id = p.id;
+    r.output = Tensor<fp16_t>({total, h});
+    // Prefix output rows come straight from the cache — zero compute.
+    std::memcpy(r.output.data(), hit.entry->output.data(),
+                static_cast<std::size_t>(prefix * h) * sizeof(fp16_t));
     StageTimes stages;
     Timer t;
-    model_->forward(dev_, in.data(), out.data(), off, opts_.flags, ws,
-                    &stages);
+    model_->forward_resume(dev_, hit.entry->qkv.data(), prefix,
+                           p.hidden.data() + prefix * h,
+                           r.output.data() + prefix * h, suffix_qkv.data(),
+                           off, opts_.flags, ws, &stages);
     const double compute = t.seconds();
     stats_.compute_seconds += compute;
+    opts_.prefix_cache->extend(hit.key, hit.entry, p.hidden.data() + prefix * h,
+                               total, suffix_qkv.data(),
+                               r.output.data() + prefix * h);
 
-    // Per-request scatter back to valid-rows-only tensors.
-    for (std::size_t i = 0; i < mb.indices.size(); ++i) {
-      const std::size_t pos = static_cast<std::size_t>(mb.indices[i]);
-      Response& r = responses[pos];
-      r.id = queue_[pos].id;
-      r.output = Tensor<fp16_t>({mb_lens[i], h});
-      std::memcpy(r.output.data(),
-                  out.data() + static_cast<std::int64_t>(i) * mb.max_len * h,
-                  static_cast<std::size_t>(r.output.size()) * sizeof(fp16_t));
-      r.queue_seconds = queue_secs[pos];
-      r.compute_seconds = compute;
-      r.round = stats_.batches;  // 0-based: incremented after the round
-      r.stages = stages;
-      r.session = std::move(queue_[pos].session);  // each pos scatters once
+    r.queue_seconds = queue_secs[hit.pos];
+    r.compute_seconds = compute;
+    r.round = stats_.batches;
+    r.stages = stages;
+    r.session = std::move(p.session);
+    stats_.micro_batches += 1;
+    // Token counters count COMPUTED tokens only: the prefix was not
+    // processed this round, which is the whole point.
+    stats_.valid_tokens += suffix;
+    stats_.processed_tokens += suffix;
+    stats_.cache_hits += 1;
+    stats_.cache_hit_suffix_tokens += suffix;
+    stats_.cache_saved_tokens += prefix;
+  }
+
+  // Batched path over the misses (the entire round when the cache is off).
+  BatchPlan plan;
+  if (!miss.empty()) {
+    std::vector<int> lengths(miss.size());
+    for (std::size_t i = 0; i < miss.size(); ++i) {
+      lengths[i] = static_cast<int>(queue_[miss[i]].hidden.dim(0));
+    }
+    plan = plan_batch(opts_.policy, lengths, opts_.group_size);
+
+    for (const MicroBatch& mb : plan.micro) {
+      const std::int64_t gb = static_cast<std::int64_t>(mb.indices.size());
+      const std::int64_t rows = gb * mb.max_len;
+      auto in = ws.get<fp16_t>("engine.in", rows * h);
+      auto out = ws.get<fp16_t>("engine.out", rows * h);
+
+      // Zero-padded gather: request i's valid rows form the prefix of padded
+      // row-block i, matching build_seq_offsets' prefix-mask convention.
+      std::memset(in.data(), 0, static_cast<std::size_t>(rows * h) * sizeof(fp16_t));
+      std::vector<int> mb_lens(mb.indices.size());
+      bool capture_wanted = false;
+      for (std::size_t i = 0; i < mb.indices.size(); ++i) {
+        const Pending& p =
+            queue_[miss[static_cast<std::size_t>(mb.indices[i])]];
+        mb_lens[i] = static_cast<int>(p.hidden.dim(0));
+        std::memcpy(in.data() + static_cast<std::int64_t>(i) * mb.max_len * h,
+                    p.hidden.data(),
+                    static_cast<std::size_t>(p.hidden.size()) * sizeof(fp16_t));
+        capture_wanted |=
+            opts_.prefix_cache != nullptr && p.session.has_value();
+      }
+      const core::SeqOffsets off = core::build_seq_offsets(dev_, mb_lens, mb.max_len);
+
+      // Sessioned misses populate the cache from this very forward pass:
+      // the sink stages every layer's packed QKV rows, and the insert loop
+      // below slices each request's row range out by its packed offset.
+      std::optional<StagingCaptureSink> sink;
+      std::span<fp16_t> capture;
+      if (capture_wanted) {
+        capture = ws.get<fp16_t>("engine.cache_capture",
+                                 layers * off.valid_count * 3 * h);
+        sink.emplace(capture.data(), off.valid_count, h);
+      }
+
+      StageTimes stages;
+      Timer t;
+      model_->forward(dev_, in.data(), out.data(), off, opts_.flags, ws,
+                      &stages, capture_wanted ? &*sink : nullptr);
+      const double compute = t.seconds();
+      stats_.compute_seconds += compute;
+
+      // Per-request scatter back to valid-rows-only tensors.
+      for (std::size_t i = 0; i < mb.indices.size(); ++i) {
+        const std::size_t pos =
+            miss[static_cast<std::size_t>(mb.indices[i])];
+        Response& r = responses[pos];
+        r.id = queue_[pos].id;
+        r.output = Tensor<fp16_t>({mb_lens[i], h});
+        std::memcpy(r.output.data(),
+                    out.data() + static_cast<std::int64_t>(i) * mb.max_len * h,
+                    static_cast<std::size_t>(r.output.size()) * sizeof(fp16_t));
+        if (capture_wanted && queue_[pos].session.has_value()) {
+          const Pending& p = queue_[pos];
+          opts_.prefix_cache->insert(
+              cache::PrefixCache::session_key(opts_.cache_scope, *p.session),
+              p.hidden.data(), mb_lens[i], layers, h,
+              capture.data() +
+                  off.batch_offset[static_cast<std::size_t>(i)] * 3 * h,
+              off.valid_count, r.output.data());
+        }
+        r.queue_seconds = queue_secs[pos];
+        r.compute_seconds = compute;
+        r.round = stats_.batches;  // 0-based: incremented after the round
+        r.stages = stages;
+        r.session = std::move(queue_[pos].session);  // each pos scatters once
+      }
     }
   }
 

@@ -45,6 +45,10 @@ namespace bt::obs {
 class MetricRegistry;  // obs/metrics.h — EngineStats::publish target
 }
 
+namespace bt::cache {
+class PrefixCache;  // cache/prefix_cache.h — EngineOptions::prefix_cache
+}
+
 namespace bt::serving {
 
 using RequestId = std::int64_t;
@@ -74,6 +78,21 @@ struct EngineOptions {
   // point is landing a session where its workspace is warm). 0 forces the
   // cache off even under sticky routing; > 0 sets the cap explicitly.
   int session_workspaces = -1;
+  // Prefix activation cache (cache/prefix_cache.h), default off. When set,
+  // sessioned requests whose input extends a previously-encoded prefix skip
+  // re-encoding it: the engine resumes from the cached per-layer state and
+  // computes only the suffix — bitwise identical to the full encode.
+  // Requires flags.causal (the exactness prerequisite; causal itself
+  // requires fused_mha) + flags.zero_padding, and a non-DeBERTa model; the
+  // Engine constructor throws otherwise. The cache may be shared by many
+  // engines (EnginePool replicas, Service pools): it locks internally, and
+  // entries are scoped by cache_scope so models never exchange state.
+  std::shared_ptr<cache::PrefixCache> prefix_cache;
+  // Key namespace for this engine's sessions, normally the registry model
+  // name (AsyncEngine copies its model_name here when unset; a bare Engine
+  // may leave it empty). Two engines serving the SAME weights may share a
+  // scope; engines serving different models never may.
+  std::string cache_scope;
 };
 
 // Absolute SLO deadline on the serving clock. All deadline comparisons run
@@ -244,6 +263,16 @@ struct EngineStats {
   long long deadline_missed = 0;
   long long deadline_shed = 0;
 
+  // Prefix-cache accounting (zero when EngineOptions::prefix_cache unset):
+  // requests resumed from cached state vs. sessioned requests that probed
+  // and full-encoded; on hits, the suffix tokens actually computed and the
+  // prefix tokens served from cache (the compute NOT done — token counters
+  // above only ever count computed tokens, so throughput math stays honest).
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long cache_hit_suffix_tokens = 0;
+  long long cache_saved_tokens = 0;
+
   long long padding_tokens() const { return processed_tokens - valid_tokens; }
 
   // Publishes every field as a gauge named "<prefix>.<field>" — merge's
@@ -270,6 +299,10 @@ struct EngineStats {
     deadline_met += o.deadline_met;
     deadline_missed += o.deadline_missed;
     deadline_shed += o.deadline_shed;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_hit_suffix_tokens += o.cache_hit_suffix_tokens;
+    cache_saved_tokens += o.cache_saved_tokens;
   }
 };
 

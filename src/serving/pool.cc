@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "cache/prefix_cache.h"
 #include "obs/hll.h"
 #include "obs/metrics.h"
 
@@ -176,6 +177,16 @@ EnginePool::RouteDecision EnginePool::route_and_account(const Request& req) {
   // sticky_hit: an existing pin decided the pick (reported by the router so
   // the hot path pays exactly one pin lookup).
   decision.target = router_->pick(loads, route_req, &decision.sticky_hit);
+  if (decision.sessioned && opts_.engine.engine.prefix_cache != nullptr) {
+    // Tell the prefix cache where this session landed. When the pin MOVED
+    // (breaker quarantine re-routed the session) the cache drops the
+    // session's entry — state built on a quarantined replica is not
+    // trusted. Pool mutex -> cache mutex only; engines take the cache
+    // mutex bare, so the order cannot cycle.
+    opts_.engine.engine.prefix_cache->note_route(
+        cache::PrefixCache::session_key(opts_.model_name, *req.session),
+        decision.target);
+  }
   decision.seen_outstanding = loads[decision.target].outstanding_requests;
   if (opts_.breaker.enabled) {
     Breaker& b = breakers_[decision.target];

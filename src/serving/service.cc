@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "cache/prefix_cache.h"
 #include "obs/metrics.h"
 
 namespace bt::serving {
@@ -45,6 +46,19 @@ Service::Service(ModelRegistry registry, ServiceOptions opts)
     // Response::model must report the registry key the request resolved to,
     // whatever label (usually none) the spec carried.
     pool_opts.model_name = name;
+    if (opts.prefix_cache_bytes > 0 &&
+        pool_opts.engine.engine.flags.causal &&
+        pool_opts.engine.engine.flags.zero_padding &&
+        spec.model->config().kind != core::ModelKind::kDeberta) {
+      // One cache shared across every eligible model: cross-model byte
+      // pressure lands on a single LRU, and entries are scoped by the
+      // registry name (the replicas' cache_scope) so models stay isolated.
+      if (prefix_cache_ == nullptr) {
+        prefix_cache_ =
+            std::make_shared<cache::PrefixCache>(opts.prefix_cache_bytes);
+      }
+      pool_opts.engine.engine.prefix_cache = prefix_cache_;
+    }
     index_.emplace(name, pools_.size());
     pools_.push_back(std::make_unique<EnginePool>(spec.model, pool_opts));
   }
@@ -179,6 +193,7 @@ void Service::publish_stats() const {
   reg.gauge("serving.route.sticky_hits")
       .set(static_cast<double>(sessions.sticky_hits));
   reg.gauge("serving.pending").set(static_cast<double>(pending()));
+  if (prefix_cache_ != nullptr) prefix_cache_->publish_stats();
   const std::vector<std::string>& names = registry_.names();
   for (std::size_t i = 0; i < pools_.size(); ++i) {
     pools_[i]->publish_stats(reg, "serving.model." + names[i]);

@@ -60,6 +60,10 @@
 #include "serving/pool.h"
 #include "serving/registry.h"
 
+namespace bt::cache {
+class PrefixCache;  // cache/prefix_cache.h — ServiceOptions::prefix_cache_bytes
+}
+
 namespace bt::serving {
 
 // UnknownModelError (resolved into the returned future when Request::model
@@ -70,6 +74,14 @@ struct ServiceOptions {
   // The model serving requests without Request::model. Empty = the first
   // registered name. Must name a registered model otherwise.
   std::string default_model;
+  // Byte budget for one service-wide prefix activation cache
+  // (cache/prefix_cache.h); 0 (default) = no cache. The single cache is
+  // shared by every eligible pool — cross-model byte pressure is arbitrated
+  // by one LRU, and entries are scoped by model name so models never
+  // exchange state. A pool is eligible when its engine flags carry
+  // causal + zero_padding and its model is not DeBERTa; ineligible pools
+  // simply serve uncached (mixed registries keep working).
+  std::size_t prefix_cache_bytes = 0;
 };
 
 class Service {
@@ -118,6 +130,12 @@ class Service {
   const EnginePool& pool(std::string_view model) const;
   EnginePool::SessionRouteStats session_route_stats() const;
 
+  // The service-wide prefix activation cache; nullptr when
+  // ServiceOptions::prefix_cache_bytes was 0 (or no pool was eligible).
+  const std::shared_ptr<cache::PrefixCache>& prefix_cache() const {
+    return prefix_cache_;
+  }
+
   // Publishes the fleet snapshot into the global MetricRegistry: the
   // aggregate EngineStats under "serving.stats.*", fleet session-route
   // gauges under "serving.route.*", and each model's full pool family
@@ -138,6 +156,7 @@ class Service {
   // service runs).
   ModelRegistry registry_;
   std::string default_model_;
+  std::shared_ptr<cache::PrefixCache> prefix_cache_;  // may be nullptr
   std::vector<std::unique_ptr<EnginePool>> pools_;  // registry-name order
   // name -> pools_ slot (transparent hash: string_view lookups allocate
   // nothing on the submit path)

@@ -1,0 +1,122 @@
+// Session-workspace LRU edge cases: cap=1 thrash recycles storage instead
+// of re-mallocing, an evicted session re-pins cleanly on its next round,
+// and eviction strictly follows recency under interleaved traffic. The
+// basics (reuse-without-allocating, mixed rounds, disabled mode) live in
+// tests/test_engine.cc; this file pins the cache-pressure behaviour those
+// tests never reach.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/model.h"
+#include "serving/engine.h"
+#include "tensor/tensor.h"
+
+namespace bt::serving {
+namespace {
+
+core::BertConfig tiny_config() {
+  core::BertConfig cfg;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.head_size = 16;
+  return cfg;
+}
+
+std::shared_ptr<const core::BertModel> shared_model() {
+  static std::shared_ptr<const core::BertModel> model = [] {
+    Rng rng(913);
+    return std::make_shared<const core::BertModel>(
+        core::BertModel::random(tiny_config(), rng));
+  }();
+  return model;
+}
+
+EngineOptions packed_options(int session_workspaces) {
+  EngineOptions opts;
+  opts.policy = BatchPolicy::kPacked;
+  opts.flags = core::OptFlags::byte_transformer();
+  opts.threads = 2;
+  opts.session_workspaces = session_workspaces;
+  return opts;
+}
+
+void run_round(Engine& engine, int len, const char* session, Rng& rng) {
+  Request req;
+  req.hidden = Tensor<fp16_t>::random_normal({len, engine.hidden()}, rng);
+  req.session = session;
+  engine.submit(std::move(req));
+  engine.run_batch();
+}
+
+// cap=1 with two alternating sessions is the worst case: every round
+// evicts the other session, so every round is a miss — but eviction
+// RECYCLES the evicted workspace's buffers (same grow-only keys), so after
+// both sessions have run the same geometry once, the allocation counter
+// must never move again. Thrash degrades to shared-workspace behaviour,
+// not to a malloc storm.
+TEST(SessionWorkspace, CapOneThrashRecyclesStorageAllocationFree) {
+  Engine engine(shared_model(), packed_options(1));
+  Rng rng(21);
+
+  run_round(engine, 10, "a", rng);  // miss: sizes the single slot
+  run_round(engine, 10, "b", rng);  // miss: evicts "a", inherits its buffers
+  const long long warm = engine.stats().workspace_allocations;
+  EXPECT_GT(warm, 0);
+
+  for (int round = 0; round < 6; ++round) {
+    run_round(engine, 10, round % 2 == 0 ? "a" : "b", rng);
+  }
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.session_ws_hits, 0);    // every round displaced the other
+  EXPECT_EQ(st.session_ws_misses, 8);  // 2 warmup + 6 thrash
+  EXPECT_EQ(st.workspace_allocations, warm);  // storage recycled, not grown
+}
+
+// An evicted session is not poisoned: when it comes back it re-pins as an
+// ordinary miss, its next same-geometry round is a hit again, and — because
+// it inherits the evictee's identically-sized buffers — the comeback itself
+// allocates nothing.
+TEST(SessionWorkspace, EvictedSessionRePinsAndIsWarmAgain) {
+  Engine engine(shared_model(), packed_options(1));
+  Rng rng(22);
+
+  run_round(engine, 12, "a", rng);  // miss: "a" resident
+  run_round(engine, 12, "a", rng);  // hit
+  const long long warm = engine.stats().workspace_allocations;
+  run_round(engine, 12, "b", rng);  // miss: evicts "a"
+
+  run_round(engine, 12, "a", rng);  // miss: re-pins, recycling "b"'s buffers
+  run_round(engine, 12, "a", rng);  // hit: warm again
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.session_ws_hits, 2);
+  EXPECT_EQ(st.session_ws_misses, 3);
+  EXPECT_EQ(st.workspace_allocations, warm);
+}
+
+// Eviction order is recency, not insertion: with cap=2, touching the older
+// resident session promotes it, so the next newcomer evicts the session
+// that has actually been idle longest.
+TEST(SessionWorkspace, InterleavedTrafficEvictsByRecencyNotInsertion) {
+  Engine engine(shared_model(), packed_options(2));
+  Rng rng(23);
+
+  run_round(engine, 8, "a", rng);  // miss: ["a"]
+  run_round(engine, 8, "b", rng);  // miss: ["a","b"]
+  run_round(engine, 8, "a", rng);  // hit: refreshes "a" -> ["b","a"]
+  run_round(engine, 8, "c", rng);  // miss: evicts "b" (LRU), NOT "a"
+
+  run_round(engine, 8, "a", rng);  // must still be a hit
+  const EngineStats mid = engine.stats();
+  EXPECT_EQ(mid.session_ws_hits, 2);
+  EXPECT_EQ(mid.session_ws_misses, 3);
+
+  run_round(engine, 8, "b", rng);  // miss: "b" was the one displaced
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.session_ws_hits, 2);
+  EXPECT_EQ(st.session_ws_misses, 4);
+}
+
+}  // namespace
+}  // namespace bt::serving

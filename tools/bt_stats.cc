@@ -1,8 +1,10 @@
 // bt_stats — pull a live server's telemetry snapshot over the wire.
 //
-//   bt_stats --port P [--traces] [--interval S] [--count N]
+//   bt_stats --port P [--bind A] [--traces] [--interval S] [--count N]
 //
-// Connects to 127.0.0.1:P, sends a kStatsRequest frame (net/protocol.h),
+// Connects to A:P (default 127.0.0.1 — pass the address a remote server
+// bound with ServerOptions::bind_addr), sends a kStatsRequest frame
+// (net/protocol.h),
 // and prints the server's metric-registry snapshot — one JSON object per
 // pull — on stdout. --traces appends the server's sampled trace ring
 // (JSONL, one record per line) after each snapshot. --interval polls every
@@ -28,8 +30,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port P [--traces] [--interval seconds] "
-               "[--count N]\n",
+               "usage: %s --port P [--bind addr] [--traces] "
+               "[--interval seconds] [--count N]\n",
                argv0);
 }
 
@@ -37,6 +39,7 @@ void usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::uint16_t port = 0;
+  std::string bind_addr = "127.0.0.1";
   bool traces = false;
   double interval = 0.0;
   long count = 1;
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--port") {
       port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--bind") {
+      bind_addr = next();
     } else if (arg == "--traces") {
       traces = true;
     } else if (arg == "--interval") {
@@ -73,7 +78,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    bt::net::Client client(port);
+    bt::net::ClientOptions client_opts;
+    client_opts.host = bind_addr;
+    bt::net::Client client(port, client_opts);
     for (long pull = 0; count < 0 || pull < count; ++pull) {
       if (pull > 0 && interval > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(interval));

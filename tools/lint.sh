@@ -27,6 +27,11 @@
 #      metric is a dashboard nobody can build and a name nobody reviews
 #      for collision with the existing namespace.
 #
+#   6. Same contract for the cache.* metric namespace (cache/prefix_cache.cc
+#      registers its literals outside rule 5's serving|net|obs prefix set):
+#      every cache.* literal must appear in the docs/OBSERVABILITY.md
+#      catalog.
+#
 # Exit 0 = clean, 1 = violations (printed per rule). Run from anywhere.
 set -u
 
@@ -151,6 +156,29 @@ if [[ -n "$metrics" ]]; then
         fail=1
       fi
     done <<< "$metrics"
+  fi
+fi
+
+# ---- rule 6: cache.* metric literals are cataloged too ----------------------
+# The prefix cache's metric names live under their own `cache.` namespace,
+# which rule 5's prefix alternation does not cover; hold them to the same
+# catalog requirement.
+cache_metrics=$(grep -rhoE '"cache\.[a-z0-9_.]+"' \
+                --include='*.h' --include='*.cc' --exclude-dir=obs src/ \
+                | tr -d '"' | sort -u)
+if [[ -n "$cache_metrics" ]]; then
+  if [[ ! -f docs/OBSERVABILITY.md ]]; then
+    note "rule 6: cache.* metrics are registered in src/ but"
+    note "docs/OBSERVABILITY.md is missing — the catalog must document them."
+    fail=1
+  else
+    while IFS= read -r metric; do
+      if ! grep -qF "$metric" docs/OBSERVABILITY.md; then
+        note "rule 6: metric \"$metric\" is registered in src/ but absent from"
+        note "the docs/OBSERVABILITY.md catalog — add a row for it."
+        fail=1
+      fi
+    done <<< "$cache_metrics"
   fi
 fi
 
